@@ -1,0 +1,57 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+The session-scoped sweep drives most figures.  Scale and benchmark
+selection can be trimmed for quick runs:
+
+    REPRO_BENCH_SCALE=0.3 REPRO_BENCH_NAMES=conv,stencil \
+        pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.dse import run_sweep
+
+
+def _names():
+    names = os.environ.get("REPRO_BENCH_NAMES")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    return None
+
+
+def _scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def sweep_scale():
+    return _scale()
+
+
+def _stdout(message):
+    """Write through pytest's capture (session fixtures cannot use
+    capsys)."""
+    import sys
+    sys.__stdout__.write(message + "\n")
+    sys.__stdout__.flush()
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    _stdout(f"\n[bench] running design-space sweep (scale={_scale()})")
+    result = run_sweep(
+        names=_names(), scale=_scale(), max_invocations=6,
+        with_amdahl=True,
+        progress=lambda n: _stdout(f"[bench]   {n}"),
+    )
+    _stdout(f"[bench] sweep complete: {len(result)} benchmarks")
+    return result
+
+
+def emit(capsys, title, text):
+    """Print a results table through pytest's capture."""
+    with capsys.disabled():
+        print(f"\n===== {title} =====")
+        print(text, flush=True)

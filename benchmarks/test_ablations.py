@@ -1,0 +1,207 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation varies one modeling/architecture knob and reports its
+effect, quantifying the paper's qualitative arguments:
+
+- CFU size (NS-DF serialized compound execution, paper Table 2);
+- vector length (the 256-bit SIMD choice, paper section 4);
+- dataflow operand-forwarding latency (fast-vs-detailed gap);
+- configuration cache (DP-CGRA's config reuse, section 3.2);
+- resource-table windowing (section 2.7's cycle-indexed structure).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.accel import AnalysisContext, NSDataflowModel, SIMDModel
+from repro.core_model import CoreConfig, OOO2
+from repro.tdg import TimingEngine
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def nsdf_ctx():
+    tdg = WORKLOADS["456.hmmer"].construct_tdg(scale=0.5)
+    return AnalysisContext(tdg)
+
+
+@pytest.fixture(scope="module")
+def simd_ctx():
+    tdg = WORKLOADS["stencil"].construct_tdg(scale=0.5)
+    return AnalysisContext(tdg)
+
+
+def _region_cycles(ctx, model, config=OOO2):
+    plans = model.find_candidates(ctx)
+    total = 0
+    for plan in plans.values():
+        estimate = model.evaluate_region(ctx, plan, config,
+                                         max_invocations=4)
+        total += estimate.cycles
+    return total
+
+
+def test_ablation_cfu_size(benchmark, capsys, nsdf_ctx):
+    """Larger compound FUs fuse more ops (fewer dispatches) but
+    serialize their internal chain."""
+    import repro.accel.ns_df as ns_df_mod
+
+    def sweep_sizes():
+        results = {}
+        original = ns_df_mod.MAX_CFU_SIZE
+        try:
+            for size in (1, 2, 4, 8):
+                ns_df_mod.MAX_CFU_SIZE = size
+                results[size] = _region_cycles(nsdf_ctx,
+                                               NSDataflowModel())
+        finally:
+            ns_df_mod.MAX_CFU_SIZE = original
+        return results
+
+    results = benchmark.pedantic(sweep_sizes, rounds=1, iterations=1)
+    lines = [f"  CFU size {size}: {cycles} accel cycles"
+             for size, cycles in results.items()]
+    emit(capsys, "Ablation: NS-DF compound-FU size (456.hmmer)",
+         "\n".join(lines))
+    assert all(c > 0 for c in results.values())
+
+
+def test_ablation_vector_length(benchmark, capsys, simd_ctx):
+    """Paper models 256-bit SIMD (4x64b lanes); wider vectors help
+    until memory bandwidth and masking dominate."""
+    def sweep_vl():
+        results = {}
+        for vl in (2, 4, 8, 16):
+            config = CoreConfig(
+                f"OOO2v{vl}", width=2, rob_size=64, iq_size=32,
+                dcache_ports=1, alu_units=2, mul_units=1, fp_units=1,
+                vector_len=vl)
+            results[vl] = _region_cycles(simd_ctx, SIMDModel(), config)
+        return results
+
+    results = benchmark.pedantic(sweep_vl, rounds=1, iterations=1)
+    lines = [f"  vector length {vl:>2}: {cycles} accel cycles"
+             for vl, cycles in results.items()]
+    emit(capsys, "Ablation: SIMD vector length (stencil)",
+         "\n".join(lines))
+    # Longer vectors never hurt massively; vl=8 beats vl=2.
+    assert results[8] < results[2]
+
+
+def test_ablation_dataflow_latency(benchmark, capsys, nsdf_ctx):
+    """The operand-forwarding latency between dataflow units is the
+    main fast-vs-detailed modeling lever for NS-DF."""
+    import repro.accel.ns_df as ns_df_mod
+
+    def sweep_latency():
+        results = {}
+        original = ns_df_mod.DATAFLOW_EDGE_LATENCY
+        try:
+            for latency in (0, 1, 2, 4):
+                ns_df_mod.DATAFLOW_EDGE_LATENCY = latency
+                results[latency] = _region_cycles(nsdf_ctx,
+                                                  NSDataflowModel())
+        finally:
+            ns_df_mod.DATAFLOW_EDGE_LATENCY = original
+        return results
+
+    results = benchmark.pedantic(sweep_latency, rounds=1, iterations=1)
+    lines = [f"  edge latency {latency}: {cycles} accel cycles"
+             for latency, cycles in results.items()]
+    emit(capsys, "Ablation: dataflow operand-forwarding latency "
+         "(456.hmmer)", "\n".join(lines))
+    assert results[4] > results[0]
+
+
+def test_ablation_config_cache(benchmark, capsys):
+    """DP-CGRA's config cache hides reconfiguration on reentry; with
+    it disabled every invocation pays the config load."""
+    import repro.accel.dp_cgra as dp_mod
+    from repro.accel import DPCGRAModel
+
+    tdg = WORKLOADS["nbody"].construct_tdg(scale=0.4)
+    ctx = AnalysisContext(tdg)
+
+    def run(entries):
+        original = dp_mod.CONFIG_CACHE_ENTRIES
+        try:
+            dp_mod.CONFIG_CACHE_ENTRIES = entries
+            return _region_cycles(ctx, DPCGRAModel())
+        finally:
+            dp_mod.CONFIG_CACHE_ENTRIES = original
+
+    with_cache = benchmark.pedantic(run, args=(4,), rounds=1,
+                                    iterations=1)
+    without_cache = run(0)
+    emit(capsys, "Ablation: DP-CGRA config cache (nbody)",
+         f"  4-entry cache: {with_cache} cycles\n"
+         f"  no cache:      {without_cache} cycles")
+    assert without_cache >= with_cache
+
+
+def test_ablation_resource_window(benchmark, capsys):
+    """Section 2.7: the windowed cycle-indexed reservation table must
+    allow back-filling or memory-level parallelism collapses.  We
+    compare against a no-backfill variant."""
+    from repro.tdg.engine import ResourceTable
+
+    tdg = WORKLOADS["conv"].construct_tdg(scale=0.5)
+    stream = tdg.trace.instructions
+
+    class NoBackfill(ResourceTable):
+        def reserve(self, ready, occupancy=1):
+            start = max(int(ready), self.max_cycle)
+            return super().reserve(start, occupancy)
+
+    def run(table_cls):
+        engine = TimingEngine(OOO2)
+        import repro.tdg.engine as engine_mod
+        original = engine_mod.ResourceTable
+        try:
+            engine_mod.ResourceTable = table_cls
+            fresh = TimingEngine(OOO2)
+            return fresh.run(stream).cycles
+        finally:
+            engine_mod.ResourceTable = original
+
+    backfill = benchmark.pedantic(run, args=(ResourceTable,),
+                                  rounds=1, iterations=1)
+    strict = run(NoBackfill)
+    emit(capsys, "Ablation: reservation-table back-filling (conv)",
+         f"  cycle-indexed (paper): {backfill} cycles\n"
+         f"  in-order, no backfill: {strict} cycles")
+    assert strict >= backfill
+
+def test_ablation_dvfs(benchmark, capsys):
+    """Extension (paper 5.5): frequency scaling of an OOO2 ExoCore
+    region — wall time, energy and power across the operating window."""
+    from repro.core_model import OOO2
+    from repro.energy import EnergyModel
+    from repro.energy.dvfs import (
+        OperatingPoint, scale_run, energy_optimal_frequency,
+    )
+
+    tdg = WORKLOADS["stencil"].construct_tdg(scale=0.5)
+    stream = tdg.trace.instructions
+    result = TimingEngine(OOO2).run(stream)
+    breakdown = EnergyModel(OOO2).evaluate(stream, result.cycles)
+
+    def sweep_freqs():
+        rows = []
+        for freq in (0.5, 1.0, 1.6, 2.0, 2.5, 3.2):
+            point = OperatingPoint(freq)
+            wall, energy, power = scale_run(result.cycles, breakdown,
+                                            point)
+            rows.append((freq, wall, energy, power))
+        return rows
+
+    rows = benchmark.pedantic(sweep_freqs, rounds=1, iterations=1)
+    lines = [f"  {freq:.1f} GHz: {wall/1000:8.1f} us  "
+             f"{energy/1e6:6.2f} uJ  {power:5.2f} W"
+             for freq, wall, energy, power in rows]
+    best = energy_optimal_frequency(result.cycles, breakdown)
+    lines.append(f"  energy-optimal: {best.freq_ghz:.2f} GHz")
+    emit(capsys, "Ablation: DVFS operating points (stencil, OOO2)",
+         "\n".join(lines))
+    walls = [r[1] for r in rows]
+    assert walls == sorted(walls, reverse=True)

@@ -1,0 +1,87 @@
+"""Extension experiment: accelerator-parameter design space.
+
+Paper section 5.5: "there is a much larger design space including
+varying core and accelerator parameters."  This bench sweeps the key
+sizing knobs of the two offload BSAs and the CGRA and reports the
+sensitivity of accelerated-region cycles — the data a designer would
+use to right-size each fabric.
+"""
+
+from benchmarks.conftest import emit
+from repro.accel import AnalysisContext, NSDataflowModel, DPCGRAModel
+from repro.core_model import OOO2
+from repro.workloads import WORKLOADS
+
+
+def _region_cycles(ctx, model):
+    total = 0
+    for plan in model.find_candidates(ctx).values():
+        estimate = model.evaluate_region(ctx, plan, OOO2,
+                                         max_invocations=4)
+        total += estimate.cycles
+    return total
+
+
+def test_nsdf_sizing(benchmark, capsys):
+    """2D sweep: writeback-bus width x operand storage (NS-DF)."""
+    import repro.accel.ns_df as mod
+
+    tdg = WORKLOADS["433.milc"].construct_tdg(scale=0.5)
+    ctx = AnalysisContext(tdg)
+
+    def sweep():
+        results = {}
+        saved = (mod.WRITEBACK_BUS, mod.OPERAND_STORAGE)
+        try:
+            for bus in (1, 2, 4):
+                for window in (32, 128, 256):
+                    mod.WRITEBACK_BUS = bus
+                    mod.OPERAND_STORAGE = window
+                    results[(bus, window)] = _region_cycles(
+                        ctx, NSDataflowModel())
+        finally:
+            mod.WRITEBACK_BUS, mod.OPERAND_STORAGE = saved
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'bus':>4} {'window':>7} {'cycles':>9}"]
+    for (bus, window), cycles in sorted(results.items()):
+        lines.append(f"{bus:>4} {window:>7} {cycles:>9}")
+    emit(capsys, "NS-DF sizing: writeback bus x operand storage "
+         "(433.milc)", "\n".join(lines))
+
+    # Wider bus and bigger window never hurt.
+    assert results[(4, 256)] <= results[(1, 32)]
+    # Bus width is the first-order knob on this dense kernel.
+    assert results[(1, 256)] > results[(4, 256)]
+
+
+def test_cgra_sizing(benchmark, capsys):
+    """Sweep: CGRA functional-unit count (vectorized cloning limit)."""
+    import repro.accel.dp_cgra as mod
+
+    tdg = WORKLOADS["nbody"].construct_tdg(scale=0.4)
+    ctx = AnalysisContext(tdg)
+
+    def sweep():
+        results = {}
+        saved = mod.CGRA_FUS
+        try:
+            for fus in (8, 16, 32, 64, 128):
+                mod.CGRA_FUS = fus
+                cycles = _region_cycles(ctx, DPCGRAModel())
+                results[fus] = cycles or None   # None: body won't fit
+        finally:
+            mod.CGRA_FUS = saved
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"  {fus:>4} FUs: "
+             + (f"{cycles} cycles" if cycles else "does not fit")
+             for fus, cycles in sorted(results.items())]
+    emit(capsys, "DP-CGRA sizing: fabric FU count (nbody)",
+         "\n".join(lines))
+    # More FUs never slow the fabric; small fabrics may not fit at all.
+    fitting = [c for c in results.values() if c]
+    assert fitting
+    assert results[128] == min(fitting)

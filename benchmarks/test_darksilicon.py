@@ -1,0 +1,56 @@
+"""Extension experiment: chip-level dark-silicon exploration.
+
+The paper motivates ExoCore with dark silicon (section 1: such a
+design only became sensible once parts of the chip must idle anyway).
+This bench quantifies the claim at chip level: under fixed die area
+and TDP budgets, which tile type — plain core, core+SIMD, or full
+ExoCore — delivers the most multiprogrammed throughput, and how much
+silicon stays dark.
+"""
+
+from benchmarks.conftest import emit
+from repro.system import explore_budgets
+
+#: (area mm^2, TDP W).  TDPs are in this model's 22nm power scale
+#: (tiles draw ~0.2-0.5W each), chosen so the regimes range from
+#: area-limited to strongly power-limited.
+BUDGETS = (
+    (100, 25.0),    # comfortable: every tile can light up
+    (100, 2.5),     # power-limited
+    (150, 1.6),     # strongly dark: big die, tight TDP
+)
+
+
+def _render(points, top=8):
+    lines = [f"{'tile':>12} {'tiles':>6} {'lit':>4} {'dark':>6} "
+             f"{'tput':>7} {'area':>7} {'power':>7}"]
+    for p in points[:top]:
+        lines.append(
+            f"{p.tile.name:>12} {p.chip.count:>6} {p.powered:>4} "
+            f"{p.dark_fraction:>6.0%} {p.throughput:>7.1f} "
+            f"{p.chip.area_mm2:>6.0f}mm {p.chip.power(p.powered):>6.1f}W")
+    return "\n".join(lines)
+
+
+def test_dark_silicon_budgets(benchmark, capsys, sweep):
+    def run():
+        return {budget: explore_budgets(sweep, *budget)
+                for budget in BUDGETS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (area, tdp), points in results.items():
+        emit(capsys, f"Dark silicon: {area}mm^2 / {tdp}W",
+             _render(points))
+
+    # In the power-limited regimes, the winning tile is specialized
+    # (carries at least one BSA).
+    for budget in ((100, 2.5), (150, 1.6)):
+        best = results[budget][0]
+        assert best.tile.subset, (
+            f"plain core won under {budget}; dark-silicon argument "
+            "should favor specialization")
+
+    # The strongly-dark budget leaves silicon dark for power-hungry
+    # tiles yet still delivers throughput via specialized ones.
+    strongly_dark = results[(150, 1.6)]
+    assert any(p.dark_fraction > 0.2 for p in strongly_dark)

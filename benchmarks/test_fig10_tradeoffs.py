@@ -1,0 +1,60 @@
+"""Regenerates paper Figure 10 (and the Figure 3 headline): geomean
+performance/energy tradeoffs of single-BSA designs and full ExoCores
+across the four general cores.
+"""
+
+from benchmarks.conftest import emit
+from repro.dse import fig10_table
+from repro.dse.sweep import ALL_BSAS
+
+
+def _render(rows):
+    lines = [f"{'accel line':>15} {'core':>5} {'rel perf':>9} "
+             f"{'rel energy eff':>15}"]
+    for row in rows:
+        lines.append(f"{row['line']:>15} {row['core']:>5} "
+                     f"{row['rel_performance']:>9.2f} "
+                     f"{row['rel_energy_eff']:>15.2f}")
+    return "\n".join(lines)
+
+
+def test_fig10_overall_tradeoffs(benchmark, capsys, sweep):
+    rows = benchmark(lambda: fig10_table(sweep))
+    emit(capsys, "Fig 10: ExoCore tradeoffs across all workloads",
+         _render(rows))
+
+    point = {(r["line"], r["core"]): r for r in rows}
+
+    # Full ExoCore dominates its own core for every core.
+    for core in sweep.core_names:
+        exo = point[("exocore-full", core)]
+        base = point[("gen-core-only", core)]
+        assert exo["rel_performance"] > base["rel_performance"]
+        assert exo["rel_energy_eff"] > base["rel_energy_eff"]
+
+    if len(sweep.results) < 40:
+        return   # claims below need the full suite
+
+    # Paper headline: full OOO2 ExoCore ~2.4x perf and energy over
+    # OOO2 alone (we accept the 1.8-3.2 band).
+    ooo2_gain = (point[("exocore-full", "OOO2")]["rel_performance"]
+                 / point[("gen-core-only", "OOO2")]["rel_performance"])
+    ooo2_energy = (point[("exocore-full", "OOO2")]["rel_energy_eff"]
+                   / point[("gen-core-only", "OOO2")]["rel_energy_eff"])
+    assert 1.8 < ooo2_gain < 3.2
+    assert 1.8 < ooo2_energy < 3.4
+
+    # BSA performance benefits shrink as the core grows (each line's
+    # gain over its own core is larger on OOO2 than on OOO6).
+    for bsa in ALL_BSAS:
+        small = (point[(bsa, "OOO2")]["rel_performance"]
+                 / point[("gen-core-only", "OOO2")]["rel_performance"])
+        big = (point[(bsa, "OOO6")]["rel_performance"]
+               / point[("gen-core-only", "OOO6")]["rel_performance"])
+        assert small >= big * 0.85, bsa
+
+    # Energy-efficiency: every single-BSA line beats its core alone.
+    for bsa in ALL_BSAS:
+        for core in sweep.core_names:
+            assert point[(bsa, core)]["rel_energy_eff"] \
+                >= point[("gen-core-only", core)]["rel_energy_eff"]

@@ -1,0 +1,47 @@
+"""Regenerates paper Figure 11: accelerator/core/workload interaction,
+split into regular, semi-regular and irregular workload categories.
+"""
+
+from benchmarks.conftest import emit
+from repro.dse import fig11_table
+
+
+def _render(rows):
+    lines = [f"{'accel line':>15} {'core':>5} {'rel perf':>9} "
+             f"{'rel energy eff':>15}"]
+    for row in rows:
+        lines.append(f"{row['line']:>15} {row['core']:>5} "
+                     f"{row['rel_performance']:>9.2f} "
+                     f"{row['rel_energy_eff']:>15.2f}")
+    return "\n".join(lines)
+
+
+def test_fig11_workload_interaction(benchmark, capsys, sweep):
+    tables = benchmark(lambda: fig11_table(sweep))
+    for category, rows in tables.items():
+        emit(capsys, f"Fig 11: {category} workloads", _render(rows))
+
+    def gain(category, metric):
+        rows = {(r["line"], r["core"]): r for r in tables[category]}
+        return (rows[("exocore-full", "OOO2")][metric]
+                / rows[("gen-core-only", "OOO2")][metric])
+
+    regular_perf = gain("regular", "rel_performance")
+    irregular_perf = gain("irregular", "rel_performance")
+
+    # Paper-claim assertions need the full suite; reduced sweeps
+    # (REPRO_BENCH_NAMES) only regenerate the tables.
+    if len(sweep.results) < 40:
+        return
+
+    # Paper: regular workloads see the largest gains (~3.5x on OOO2);
+    # even irregular SPECint gains noticeably (~1.6x over OOO2+SIMD).
+    assert regular_perf > irregular_perf
+    assert regular_perf > 2.0
+    assert irregular_perf > 1.2
+
+    # Energy gains hold across every category (paper: "even on the
+    # most challenging irregular SPECint applications, ExoCores have
+    # significant potential").
+    for category in tables:
+        assert gain(category, "rel_energy_eff") > 1.2, category

@@ -1,0 +1,73 @@
+"""Regenerates paper Figure 12: the 64-point design-space
+characterization (speedup, energy efficiency and area relative to the
+IO2 baseline, sorted by speedup), plus the paper's quantitative
+bullet-point claims about it.
+"""
+
+from benchmarks.conftest import emit
+from repro.dse import fig12_table
+from repro.dse.plots import frontier_plot
+
+
+def _render(rows):
+    lines = [f"{'design':>12} {'speedup':>8} {'energy eff':>11} "
+             f"{'area':>6}"]
+    for row in rows:
+        lines.append(f"{row['design']:>12} {row['speedup']:>8.2f} "
+                     f"{row['energy_eff']:>11.2f} {row['area']:>6.2f}")
+    return "\n".join(lines)
+
+
+def test_fig12_design_space(benchmark, capsys, sweep):
+    rows = benchmark(lambda: fig12_table(sweep))
+    emit(capsys, "Fig 12: 64-design-point characterization",
+         _render(rows))
+    emit(capsys, "Fig 3: energy-performance space",
+         frontier_plot(rows))
+    by_name = {r["design"]: r for r in rows}
+
+    assert len(rows) == 64
+    if len(sweep.results) < 40:
+        return   # claims below need the full suite
+
+    # [Performance] OOO4 ExoCore configs can reach OOO6+SIMD
+    # performance with less area (paper: nine OOO4 configs).
+    ooo6_simd = by_name["OOO6-S"]
+    ooo4_matches = [
+        r for r in rows
+        if r["core"] == "OOO4" and len(r["subset"]) >= 1
+        and r["speedup"] >= 0.95 * ooo6_simd["speedup"]
+        and r["area"] < ooo6_simd["area"]
+    ]
+    assert len(ooo4_matches) >= 3
+
+    # [Headline] OOO2-SDN approaches OOO6+SIMD performance at far
+    # better energy efficiency and ~40% less area (paper Fig. 3).
+    sdn = by_name["OOO2-SDN"]
+    assert sdn["speedup"] >= 0.70 * ooo6_simd["speedup"]
+    assert sdn["energy_eff"] >= 1.7 * ooo6_simd["energy_eff"]
+    assert 0.5 < sdn["area"] / ooo6_simd["area"] < 0.75
+
+    # [Energy] Full IO2 ExoCore is the most energy-efficient design.
+    best_eff = max(rows, key=lambda r: r["energy_eff"])
+    assert best_eff["core"] == "IO2"
+    assert len(best_eff["subset"]) >= 3
+
+    # [Energy] Many in-order ExoCores beat the most efficient
+    # baseline core (OOO2-S in the paper's data; measured here).
+    baseline_eff = max(
+        (r for r in rows if len(r["subset"]) <= 1),
+        key=lambda r: r["energy_eff"])
+    better_inorder = [
+        r for r in rows
+        if r["core"] == "IO2" and len(r["subset"]) >= 2
+        and r["energy_eff"] > baseline_eff["energy_eff"]
+    ]
+    assert len(better_inorder) >= 4
+
+    # [Full ExoCores] OOO6-SDNT has the best performance overall.
+    best_speed = max(rows, key=lambda r: r["speedup"])
+    assert best_speed["core"] == "OOO6"
+
+    # Area ordering sanity: ExoCore area grows with the subset.
+    assert by_name["OOO2-SDNT"]["area"] > by_name["OOO2--"]["area"]

@@ -1,0 +1,49 @@
+"""Regenerates paper Figure 14: dynamic ExoCore switching behavior
+over time for djpeg and h264ref (speedup of the full OOO2 ExoCore
+over OOO2 alone, per region instance on the execution timeline).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.exocore import (
+    evaluate_benchmark, oracle_schedule, switching_timeline,
+)
+from repro.workloads import WORKLOADS
+
+ALL = ("simd", "dp_cgra", "ns_df", "trace_p")
+FIG14_BENCHMARKS = ("djpeg1", "464.h264ref")
+
+
+def _render(segments):
+    lines = [f"{'cycles':>22} {'unit':>10} {'speedup':>8}"]
+    for seg in segments:
+        lines.append(f"[{seg.start_cycle:>9},{seg.end_cycle:>9}) "
+                     f"{seg.unit:>10} {seg.speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("name", FIG14_BENCHMARKS)
+def test_fig14_switching(benchmark, capsys, name, sweep_scale):
+    def run():
+        tdg = WORKLOADS[name].construct_tdg(scale=sweep_scale)
+        evaluation = evaluate_benchmark(tdg, name=name,
+                                        max_invocations=6)
+        schedule = oracle_schedule(evaluation, "OOO2", ALL)
+        return switching_timeline(evaluation, schedule)
+
+    segments = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, f"Fig 14: {name} dynamic switching (OOO2 ExoCore)",
+         _render(segments))
+
+    # The application switches between units over time...
+    units = {seg.unit for seg in segments}
+    assert len(units) >= 2, units
+    # ... with accelerated phases genuinely faster than the core.
+    accelerated = [seg for seg in segments if seg.unit != "gpp"]
+    assert accelerated
+    assert max(seg.speedup for seg in accelerated) > 1.2
+    # Timeline is contiguous from cycle 0.
+    assert segments[0].start_cycle == 0
+    for a, b in zip(segments, segments[1:]):
+        assert a.end_cycle == b.start_cycle

@@ -1,0 +1,56 @@
+"""Regenerates paper Figure 15: Oracle vs Amdahl-tree scheduler on
+Mediabench (relative execution time and energy of the full OOO2
+ExoCore under each scheduler).
+"""
+
+from benchmarks.conftest import emit
+from repro.dse import fig15_table, geomean
+
+
+def _render(rows):
+    lines = [f"{'benchmark':>12} {'oracle T':>9} {'amdahl T':>9} "
+             f"{'oracle E':>9} {'amdahl E':>9}"]
+    for row in rows:
+        lines.append(f"{row['benchmark']:>12} "
+                     f"{row['oracle_time']:>9.3f} "
+                     f"{row['amdahl_time']:>9.3f} "
+                     f"{row['oracle_energy']:>9.3f} "
+                     f"{row['amdahl_energy']:>9.3f}")
+    return "\n".join(lines)
+
+
+def test_fig15_scheduler_comparison(benchmark, capsys, sweep):
+    rows = benchmark(
+        lambda: fig15_table(sweep, core="OOO2", suite="mediabench"))
+    emit(capsys, "Fig 15: Oracle vs Amdahl-tree scheduler "
+         "(Mediabench, OOO2 ExoCore)", _render(rows))
+    assert rows
+
+    # Whole-suite comparison (paper reports it across all
+    # benchmarks): the Amdahl scheduler is a practical heuristic —
+    # close to the Oracle on performance while staying energy-biased.
+    all_rows = fig15_table(sweep, core="OOO2", suite=None)
+    perf_ratio = geomean([r["oracle_time"] / r["amdahl_time"]
+                          for r in all_rows if r["amdahl_time"] > 0])
+    energy_gain = geomean([1.0 / r["amdahl_energy"]
+                           for r in all_rows
+                           if r["amdahl_energy"] > 0])
+    emit(capsys, "Fig 15 summary",
+         f"amdahl/oracle perf = {perf_ratio:.2f} "
+         f"(paper: 0.89), amdahl energy-eff gain over core = "
+         f"{energy_gain:.2f}x (paper: 1.21x)")
+    # Bands around the paper's 0.89x perf / 1.21x energy numbers
+    # (full suite only).
+    if len(sweep.results) >= 40:
+        assert 0.55 < perf_ratio <= 1.05
+        assert energy_gain > 1.1
+
+    # Oracle is EDP-optimal among choices satisfying its 10%-slowdown
+    # rule; Amdahl may only "win" on EDP by taking slowdowns the
+    # Oracle is forbidden from accepting.
+    for row in all_rows:
+        oracle_edp = row["oracle_time"] * row["oracle_energy"]
+        amdahl_edp = row["amdahl_time"] * row["amdahl_energy"]
+        assert (oracle_edp <= amdahl_edp * 1.01
+                or row["amdahl_time"] > row["oracle_time"]), \
+            row["benchmark"]

@@ -1,0 +1,62 @@
+"""Regenerates paper Figure 5: per-benchmark validation scatter.
+
+For each validation experiment, prints the (reference, projected)
+pairs — the coordinates of the paper's scatter plots — for both the
+performance and energy metrics.
+"""
+
+from benchmarks.conftest import emit
+from repro.dse.plots import validation_plot
+from repro.validation import cross_validate_cores, validate_accelerator
+
+
+def _render(perf_points, energy_points):
+    lines = [f"{'benchmark':>14} {'ref P':>8} {'proj P':>8} "
+             f"{'ref E':>8} {'proj E':>8}"]
+    energy_by_name = {p.benchmark: p for p in energy_points}
+    for point in perf_points:
+        e = energy_by_name.get(point.benchmark)
+        lines.append(
+            f"{point.benchmark:>14} {point.reference:>8.3f} "
+            f"{point.predicted:>8.3f} "
+            f"{e.reference if e else 0:>8.3f} "
+            f"{e.predicted if e else 0:>8.3f}")
+    return "\n".join(lines)
+
+
+def test_fig5_core_cross_validation(benchmark, capsys, sweep_scale):
+    scale = min(0.3, sweep_scale)
+
+    def run():
+        return (cross_validate_cores("OOO8", "OOO1", scale=scale),
+                cross_validate_cores("OOO1", "OOO8", scale=scale))
+
+    (down_ipc, down_ipe), (up_ipc, up_ipe) = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    emit(capsys, "Fig 5a: OOO8->OOO1 model (IPC / IPE)",
+         _render(down_ipc, down_ipe))
+    emit(capsys, "Fig 5a scatter", validation_plot(down_ipc, "IPC"))
+    emit(capsys, "Fig 5b: OOO1->OOO8 model (IPC / IPE)",
+         _render(up_ipc, up_ipe))
+    emit(capsys, "Fig 5b scatter", validation_plot(up_ipc, "IPC"))
+    for point in down_ipc + up_ipc:
+        assert point.error < 0.10
+
+
+def test_fig5_accelerator_scatter(benchmark, capsys, sweep_scale):
+    scale = min(0.3, sweep_scale)
+
+    def run():
+        return {bsa: validate_accelerator(bsa, scale=scale)
+                for bsa in ("simd", "dp_cgra", "ns_df", "trace_p")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_row = {"simd": "SIMD", "dp_cgra": "DySER",
+                 "ns_df": "C-Cores", "trace_p": "BERET"}
+    for bsa, (speedups, energies) in results.items():
+        emit(capsys,
+             f"Fig 5: {paper_row[bsa]} (speedup / energy reduction)",
+             _render(speedups, energies))
+        emit(capsys, f"Fig 5 scatter: {paper_row[bsa]}",
+             validation_plot(speedups, "speedup"))
+        assert speedups, bsa

@@ -1,0 +1,67 @@
+"""Regenerates paper Table 1: TDG validation summary.
+
+Columns mirror the paper: base core, mean performance error, metric
+range, mean energy error, range.  Our references: the independent
+cycle-level simulator for the core cross-validation rows, and each
+BSA's detailed reference mode for the accelerator rows (see DESIGN.md
+substitutions).
+"""
+
+from benchmarks.conftest import emit
+from repro.core_model import core_by_name
+from repro.sim.cycle_sim import CycleSimulator
+from repro.tdg import TimingEngine
+from repro.validation import table1
+from repro.workloads import WORKLOADS
+
+
+def _render(rows):
+    lines = [f"{'Accel.':>8} {'Base':>5} {'P Err.':>7} "
+             f"{'P Range':>13} {'E Err.':>7} {'E Range':>13}"]
+    for row in rows:
+        p_lo, p_hi = row["perf_range"]
+        e_lo, e_hi = row["energy_range"]
+        lines.append(
+            f"{row['accel']:>8} {row['base']:>5} "
+            f"{row['perf_err'] * 100:>6.1f}% "
+            f"{p_lo:>5.2f}-{p_hi:<6.2f} "
+            f"{row['energy_err'] * 100:>6.1f}% "
+            f"{e_lo:>5.2f}-{e_hi:<6.2f}")
+    return "\n".join(lines)
+
+
+def test_table1(benchmark, capsys, sweep_scale):
+    scale = min(0.4, sweep_scale)
+    rows = benchmark.pedantic(table1, kwargs={"scale": scale},
+                              rounds=1, iterations=1)
+    emit(capsys, "Table 1: validation summary", _render(rows))
+    # Shape assertions matching the paper's bounds.
+    by_label = {r["accel"]: r for r in rows}
+    assert by_label["OOO8->1"]["perf_err"] < 0.05
+    assert by_label["OOO1->8"]["perf_err"] < 0.05
+    for label in ("C-Cores", "BERET", "SIMD", "DySER"):
+        assert by_label[label]["perf_err"] < 0.20
+        assert by_label[label]["energy_err"] < 0.20
+
+
+def test_engine_throughput(benchmark, capsys):
+    """Microbenchmark: TDG engine instructions/second (the speed that
+    makes 64-point DSE tractable, paper section 2)."""
+    tdg = WORKLOADS["mm"].construct_tdg(scale=0.5)
+    stream = tdg.trace.instructions
+    config = core_by_name("OOO2")
+
+    result = benchmark(lambda: TimingEngine(config).run(stream))
+    assert result.cycles > 0
+
+
+def test_cycle_sim_throughput(benchmark):
+    """The reference simulator is the slow path the TDG replaces."""
+    tdg = WORKLOADS["mm"].construct_tdg(scale=0.25)
+    stream = tdg.trace.instructions
+    config = core_by_name("OOO2")
+
+    result = benchmark.pedantic(
+        lambda: CycleSimulator(config).run(stream),
+        rounds=2, iterations=1)
+    assert result.cycles > 0

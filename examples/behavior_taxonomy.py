@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Classify workload loops into the paper's Fig. 6 behavior space.
+
+For a sample of benchmarks across the suites, prints each inner loop's
+behavior class, the specialization mechanism it maps to (Table 2), and
+which BSA models actually target it.
+
+Run:  python examples/behavior_taxonomy.py
+"""
+
+from repro.accel import AnalysisContext, BSA_REGISTRY
+from repro.analysis import classify_loop
+from repro.workloads import WORKLOADS
+
+SAMPLE = (
+    "conv", "stencil", "nbody", "vr",          # regular
+    "cjpeg1", "h264dec", "tpch1", "450.soplex",  # semi-regular
+    "181.mcf", "164.gzip", "456.hmmer", "458.sjeng",  # irregular
+)
+
+
+def main():
+    print(f"{'benchmark':<12} {'loop':<12} {'behavior class':<34} "
+          f"{'targeted by'}")
+    print("-" * 88)
+    for name in SAMPLE:
+        tdg = WORKLOADS[name].construct_tdg(scale=0.4)
+        ctx = AnalysisContext(tdg)
+        candidates = {
+            bsa: cls().find_candidates(ctx)
+            for bsa, cls in BSA_REGISTRY.items()
+        }
+        for loop in ctx.forest:
+            if not loop.is_inner:
+                continue
+            behavior = classify_loop(
+                ctx.dep_info(loop),
+                ctx.path_profiles[loop.key],
+                ctx.slice_info(loop))
+            targets = [bsa for bsa, plans in candidates.items()
+                       if loop.key in plans]
+            print(f"{name:<12} {loop.header:<12} "
+                  f"{behavior.value:<34} {', '.join(targets) or '-'}")
+
+
+if __name__ == "__main__":
+    main()

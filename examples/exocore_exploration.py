@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mini design-space exploration (paper section 5 in miniature).
+
+Sweeps a handful of benchmarks across all 64 ExoCore design points and
+prints the Figure 12-style ranking plus the energy-performance
+frontier, including the paper's headline comparison (an OOO2-based
+three-BSA ExoCore against OOO6+SIMD).
+
+Run:  python examples/exocore_exploration.py
+"""
+
+from repro.dse import run_sweep, fig12_table, subset_label
+from repro.dse.report import render_table
+
+BENCHMARKS = ("conv", "stencil", "kmeans", "cjpeg1", "tpch1",
+              "181.mcf", "456.hmmer")
+
+
+def pareto_frontier(rows):
+    """Designs not dominated in (speedup, energy_eff)."""
+    frontier = []
+    for row in rows:
+        dominated = any(
+            other["speedup"] >= row["speedup"]
+            and other["energy_eff"] >= row["energy_eff"]
+            and (other["speedup"] > row["speedup"]
+                 or other["energy_eff"] > row["energy_eff"])
+            for other in rows
+        )
+        if not dominated:
+            frontier.append(row)
+    return sorted(frontier, key=lambda r: r["speedup"])
+
+
+def main():
+    print(f"sweeping {len(BENCHMARKS)} benchmarks x 64 designs ...")
+    sweep = run_sweep(names=BENCHMARKS, scale=0.5, with_amdahl=False)
+    rows = fig12_table(sweep)
+
+    print("\n== top ten designs by speedup (relative to IO2) ==")
+    print(render_table(rows[-10:],
+                       columns=("design", "speedup", "energy_eff",
+                                "area")))
+
+    print("\n== energy-performance frontier ==")
+    print(render_table(pareto_frontier(rows),
+                       columns=("design", "speedup", "energy_eff",
+                                "area")))
+
+    by_name = {r["design"]: r for r in rows}
+    sdn = by_name["OOO2-SDN"]
+    ooo6s = by_name["OOO6-S"]
+    print("\n== headline comparison (paper Fig. 3) ==")
+    print(f"OOO2-SDN vs OOO6-SIMD: "
+          f"{sdn['speedup'] / ooo6s['speedup']:.2f}x perf, "
+          f"{sdn['energy_eff'] / ooo6s['energy_eff']:.2f}x energy eff, "
+          f"{sdn['area'] / ooo6s['area']:.2f}x area")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: model one benchmark on an ExoCore in ~40 lines.
+
+Builds the TDG for a paper workload, evaluates the four general cores,
+composes the full four-BSA ExoCore with the Oracle scheduler, and
+prints the speedup / energy-efficiency / area story of paper Figure 3.
+
+Run:  python examples/quickstart.py [benchmark-name]
+"""
+
+import sys
+
+from repro import (
+    WORKLOADS, core_by_name, evaluate_benchmark, oracle_schedule,
+    exocore_area,
+)
+
+ALL_BSAS = ("simd", "dp_cgra", "ns_df", "trace_p")
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "conv"
+    workload = WORKLOADS[name]
+    print(f"== {name} ({workload.suite}: {workload.description})")
+
+    # 1. Simulate once -> TDG (the expensive step, paper Fig. 2).
+    tdg = workload.construct_tdg()
+    print(f"trace: {len(tdg.trace)} dynamic instructions, "
+          f"{len(tdg.loop_tree)} loops")
+
+    # 2. Evaluate baselines + all per-region BSA estimates.
+    evaluation = evaluate_benchmark(tdg, name=name)
+
+    # 3. Compose ExoCores and report.
+    print(f"\n{'design':<16} {'cycles':>9} {'energy(nJ)':>11} "
+          f"{'speedup':>8} {'energyX':>8} {'area':>6}")
+    for core_name in ("IO2", "OOO2", "OOO4", "OOO6"):
+        base = evaluation.baseline(core_name)
+        core_area_mm2 = exocore_area(core_by_name(core_name), ())
+        print(f"{core_name:<16} {base.cycles:>9} "
+              f"{base.energy_pj / 1000:>11.1f} {'1.00':>8} {'1.00':>8} "
+              f"{core_area_mm2:>6.2f}")
+        schedule = oracle_schedule(evaluation, core_name, ALL_BSAS)
+        area = exocore_area(core_by_name(core_name), ALL_BSAS)
+        speedup = base.cycles / schedule.cycles
+        energy_x = base.energy_pj / schedule.energy_pj
+        print(f"{core_name + '-ExoCore':<16} {schedule.cycles:>9} "
+              f"{schedule.energy_pj / 1000:>11.1f} {speedup:>8.2f} "
+              f"{energy_x:>8.2f} {area:>6.2f}")
+
+    # 4. Which BSA ran what?
+    schedule = oracle_schedule(evaluation, "OOO2", ALL_BSAS)
+    print("\nOOO2-ExoCore region assignment:")
+    for key, unit in sorted(schedule.assignment.items()):
+        if unit != "gpp":
+            print(f"  loop {key[1]:<14} -> {unit}")
+    print(f"cycles offloaded: {schedule.offloaded_fraction:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,287 @@
+"""Shared machinery for BSA models.
+
+:class:`AnalysisContext` caches the per-TDG analyses (loop forest,
+intervals, path profiles, dependence info, slices) so multiple BSA
+models share them.  :class:`BSAModel` is the analyzer+transformer
+interface; :class:`RegionEstimate` is the per-static-region output the
+ExoCore schedulers consume.
+"""
+
+from repro.analysis.loops import build_loop_forest
+from repro.analysis.memdep import analyze_loop_dependences, iteration_spans
+from repro.analysis.pathprof import profile_paths
+from repro.analysis.regions import loop_intervals
+from repro.analysis.slicing import slice_loop_body
+from repro.energy.mcpat import EnergyModel
+from repro.tdg.engine import TimingEngine, AccelResources
+
+
+class SeqAllocator:
+    """Fresh sequence ids for transform-synthesized instructions.
+
+    Ids start far above any original trace seq so live-in references to
+    original producers never collide.
+    """
+
+    _BASE = 1 << 40
+
+    def __init__(self):
+        self._next = SeqAllocator._BASE
+
+    def next(self):
+        seq = self._next
+        self._next += 1
+        return seq
+
+
+def apply_dataflow_latency(stream, latency):
+    """Charge *latency* cycles on accelerator-internal dataflow edges.
+
+    Distributed dataflow fabrics (SEED-style writeback bus + tag match)
+    do not forward operands for free the way a core's bypass network
+    does; deps whose producer is itself a transform-synthesized
+    instruction (seq above the allocator base) become delayed edges.
+    """
+    if not latency:
+        return stream
+    base = SeqAllocator._BASE
+    for inst in stream:
+        if inst.accel is None:
+            continue
+        internal = tuple(d for d in inst.src_deps if d >= base)
+        if internal:
+            inst.src_deps = tuple(
+                d for d in inst.src_deps if d < base)
+            inst.extra_deps = inst.extra_deps + tuple(
+                (d, latency) for d in internal)
+    return stream
+
+
+class CFUFolder:
+    """Folds dynamic instruction instances into compound-FU instances.
+
+    Built from a :class:`~repro.analysis.cfu.CFUSchedule`; feed it
+    dynamic compute instructions in trace order and it either returns a
+    fresh accelerator CFU instruction (chain head) or folds the
+    instruction into the pending compound op (returns None) —
+    accumulating latency (serialized compound execution, as in BERET)
+    and merging external dependences.
+    """
+
+    def __init__(self, schedule, accel_name, seq_alloc, seq_map):
+        self.schedule = schedule
+        self.accel_name = accel_name
+        self.seq_alloc = seq_alloc
+        self.seq_map = seq_map
+        self._pending = {}   # cfu index -> (inst, next member position)
+
+    def process(self, dyn, mapped_deps):
+        """Handle one dynamic compute instruction.
+
+        *mapped_deps* are its already-remapped source deps.  Returns a
+        new accel DynInst to append, or None if folded into a pending
+        compound instruction.
+        """
+        from repro.isa.opcodes import Opcode
+
+        uid = dyn.uid
+        cfu_index = self.schedule.cfu_of.get(uid)
+        members = self.schedule.cfus[cfu_index] \
+            if cfu_index is not None else None
+        position = members.index(uid) if members else 0
+
+        if members and position > 0:
+            pending = self._pending.get(cfu_index)
+            if pending is not None and pending[1] == position:
+                inst, _ = pending
+                external = tuple(
+                    d for d in mapped_deps
+                    if d != inst.seq and d not in inst.src_deps
+                )
+                inst.src_deps = inst.src_deps + external
+                inst.lat_override = (inst.lat_override or 0) \
+                    + dyn.latency
+                inst.vector_width += 1
+                if position + 1 < len(members):
+                    self._pending[cfu_index] = (inst, position + 1)
+                else:
+                    self._pending.pop(cfu_index, None)
+                self.seq_map[dyn.seq] = inst.seq
+                return None
+        # Chain head (or out-of-order instance): fresh compound inst.
+        seq = self.seq_alloc.next()
+        inst = dyn.clone(
+            seq=seq, opcode=Opcode.CFU, accel=self.accel_name,
+            src_deps=mapped_deps, lat_override=dyn.latency,
+            vector_width=1, mispredicted=False, icache_lat=0,
+        )
+        if members and len(members) > 1 and position == 0:
+            self._pending[cfu_index] = (inst, 1)
+        self.seq_map[dyn.seq] = seq
+        return inst
+
+
+class AnalysisContext:
+    """Caches analyses over one TDG, shared across BSA models."""
+
+    def __init__(self, tdg):
+        self.tdg = tdg
+        self.forest = build_loop_forest(tdg.program)
+        self.intervals = loop_intervals(tdg, self.forest)
+        self.path_profiles = profile_paths(tdg, self.forest,
+                                           self.intervals)
+        self._dep_info = {}
+        self._slices = {}
+        self._iteration_spans = {}
+        self._energy_models = {}
+
+    def dep_info(self, loop):
+        key = loop.key
+        if key not in self._dep_info:
+            self._dep_info[key] = analyze_loop_dependences(
+                self.tdg, loop, self.intervals.get(key, ()))
+        return self._dep_info[key]
+
+    def slice_info(self, loop):
+        key = loop.key
+        if key not in self._slices:
+            self._slices[key] = slice_loop_body(
+                self.tdg, loop, self.intervals.get(key, ()))
+        return self._slices[key]
+
+    def spans_of(self, loop, interval):
+        """Per-iteration spans of one invocation interval (cached)."""
+        cache_key = (loop.key, interval)
+        if cache_key not in self._iteration_spans:
+            start, end = interval
+            self._iteration_spans[cache_key] = iteration_spans(
+                self.tdg.trace.instructions, loop, start, end)
+        return self._iteration_spans[cache_key]
+
+    def energy_model(self, core_config):
+        if core_config.name not in self._energy_models:
+            self._energy_models[core_config.name] = \
+                EnergyModel(core_config)
+        return self._energy_models[core_config.name]
+
+
+class RegionEstimate:
+    """Accelerated cost of one static region under one core config."""
+
+    def __init__(self, loop_key, accel_name, cycles, energy_pj,
+                 dyn_insts, invocations, accel_cycles=None):
+        self.loop_key = loop_key
+        self.accel_name = accel_name
+        self.cycles = cycles
+        self.energy_pj = energy_pj
+        self.dyn_insts = dyn_insts
+        self.invocations = invocations
+        # Cycles actually spent in accelerated mode (== cycles unless
+        # part of the region replays on the core).
+        self.accel_cycles = accel_cycles if accel_cycles is not None \
+            else cycles
+
+    def __repr__(self):
+        return (f"<RegionEstimate {self.accel_name}@{self.loop_key}: "
+                f"{self.cycles} cyc, {self.energy_pj/1000:.1f} nJ>")
+
+
+class BSAModel:
+    """Base class: one behavior-specialized accelerator model.
+
+    Subclasses set :attr:`name`, implement :meth:`find_candidates`
+    (returns {loop_key: plan}) and :meth:`transform_interval` (returns
+    the transformed instruction stream for one invocation), and may
+    override the resource/energy hooks.
+    """
+
+    #: Short name; also the ``accel`` tag on transformed instructions.
+    name = None
+
+    #: Cycles charged at each region entry (configuration check,
+    #: live-value transfer); refined per model.
+    entry_overhead = 0
+
+    #: Whether the BSA powers down the core pipeline while active.
+    power_gates_core = False
+
+    #: Fast mode uses the paper's approximations; detailed mode is the
+    #: validation reference (finer contention, exact latencies).
+    def __init__(self, detailed=False):
+        self.detailed = detailed
+
+    # -- analyzer ------------------------------------------------------
+    def find_candidates(self, ctx):
+        """Map loop_key -> plan for every legal+profitable region."""
+        raise NotImplementedError
+
+    # -- transformer -----------------------------------------------------
+    def transform_interval(self, ctx, plan, interval, core_config,
+                           seq_alloc):
+        """Rewrite one invocation's trace slice; returns the new
+        stream (list of DynInst)."""
+        raise NotImplementedError
+
+    def accel_resources(self, core_config):
+        """Resource tables for the engine (override per model)."""
+        return None
+
+    def region_entry_overhead(self, plan):
+        """Cycles charged per region entry (configuration check, live
+        value transfer).  Default: the class attribute."""
+        return self.entry_overhead
+
+    def estimate_speedup(self, ctx, plan, core_config):
+        """Approximate speedup from static/profile information only —
+        what a profile-based compiler would embed in the binary for the
+        Amdahl-tree scheduler (paper section 3.3).  Deliberately rough;
+        must NOT consult measured TDG timing."""
+        return 1.0
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate_region(self, ctx, plan, core_config,
+                        max_invocations=None):
+        """Evaluate all invocations of one static region.
+
+        Returns a :class:`RegionEstimate`; invocation costs beyond
+        *max_invocations* are extrapolated from the evaluated mean.
+        """
+        loop = plan["loop"]
+        key = loop.key
+        intervals = ctx.intervals.get(key, ())
+        if not intervals:
+            return None
+        evaluated = intervals if max_invocations is None \
+            else intervals[:max_invocations]
+        seq_alloc = SeqAllocator()
+        energy_model = ctx.energy_model(core_config)
+        entry_overhead = self.region_entry_overhead(plan)
+        total_cycles = 0
+        total_energy = 0.0
+        total_accel_cycles = 0
+        for interval in evaluated:
+            stream = self.transform_interval(ctx, plan, interval,
+                                             core_config, seq_alloc)
+            engine = TimingEngine(
+                core_config,
+                accel_resources=self.accel_resources(core_config),
+                detailed=self.detailed,
+            )
+            result = engine.run(stream)
+            cycles = result.cycles + entry_overhead
+            breakdown = energy_model.evaluate(
+                stream, cycles,
+                core_active=not self.power_gates_core,
+                active_accels=(self.name,),
+            )
+            total_cycles += cycles
+            total_energy += breakdown.total_pj
+            total_accel_cycles += cycles
+        if len(evaluated) < len(intervals):
+            scale = len(intervals) / len(evaluated)
+            total_cycles = int(total_cycles * scale)
+            total_energy *= scale
+            total_accel_cycles = int(total_accel_cycles * scale)
+        dyn = sum(end - start for start, end in intervals)
+        return RegionEstimate(key, self.name, total_cycles, total_energy,
+                              dyn, len(intervals))

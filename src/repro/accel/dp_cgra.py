@@ -1,0 +1,315 @@
+"""Data-Parallel CGRA model (DySER/Morphosys-like, paper section 3.2).
+
+Analyzer: inner loops whose access/execute slice is profitable (more
+offloaded computation than communication instructions).  Vectorizable
+loops also apply the SIMD grouping first, and the computation is
+"cloned" across lanes until resources fill (modeled as vector-width on
+the CGRA ops).
+
+Transformer: the computation subgraph moves onto the CGRA (``accel=
+"dp_cgra"`` instructions with routing delay on their dataflow edges);
+the core retains memory access, loop control and the communication
+instructions (``send``/``recv``).  Offloaded computation instances are
+pipelined: one edge for the pipeline depth between instances and one
+for in-order completion.  A small configuration cache inserts a
+``cfg`` instruction on misses.
+"""
+
+from repro.isa.opcodes import Opcode
+from repro.accel.base import BSAModel
+from repro.analysis.slicing import ROLE_EXECUTE, ROLE_CONTROL
+from repro.tdg.engine import AccelResources
+
+#: CGRA functional units (paper: "Its design point has 64 FUs").
+CGRA_FUS = 64
+
+#: Routing/scheduling latency added on CGRA dataflow edges (the paper
+#: estimates FU-to-FU latency absent a spatial scheduler, sec. 2.7).
+ROUTE_DELAY = 1
+
+#: Pipeline depth between computation instances.
+PIPELINE_DEPTH = 1
+
+#: Configuration-cache entries (loops).
+CONFIG_CACHE_ENTRIES = 4
+
+#: Cycles to load a configuration on a config-cache miss.
+CONFIG_LATENCY = 32
+
+
+class DPCGRAModel(BSAModel):
+    """Data-parallel CGRA in access-execute style."""
+
+    name = "dp_cgra"
+    power_gates_core = False
+
+    @property
+    def route_delay(self):
+        """Fast mode estimates FU-to-FU latency (paper sec. 2.7 notes
+        the missing spatial scheduler); the detailed reference charges
+        the full switch traversal."""
+        return 2 if self.detailed else ROUTE_DELAY
+
+    @property
+    def config_latency(self):
+        return 2 * CONFIG_LATENCY if self.detailed else CONFIG_LATENCY
+
+    def accel_resources(self, core_config):
+        return AccelResources({self.name: CGRA_FUS})
+
+    def find_candidates(self, ctx):
+        plans = {}
+        for loop in ctx.forest:
+            if not loop.is_inner:
+                continue
+            profile = ctx.path_profiles.get(loop.key)
+            if profile is None or profile.iterations < 8:
+                continue
+            if profile.average_trip_count < 4:
+                continue
+            slice_info = ctx.slice_info(loop)
+            if not slice_info.profitable:
+                continue
+            if slice_info.offloaded_count > CGRA_FUS:
+                continue
+            dep = ctx.dep_info(loop)
+            plans[loop.key] = {
+                "loop": loop,
+                "slice": slice_info,
+                "dep": dep,
+                "profile": profile,
+                "config_cache": [],   # shared LRU across invocations
+            }
+        return plans
+
+    def estimate_speedup(self, ctx, plan, core_config):
+        slice_info = plan["slice"]
+        dep = plan["dep"]
+        total = max(1, len(slice_info.roles))
+        offload_fraction = slice_info.offloaded_count / total
+        estimate = 1.0 + offload_fraction
+        if dep.vectorizable:
+            estimate *= 1.0 + 0.4 * (core_config.vector_len - 1) \
+                * dep.contiguous_fraction()
+        # Predicated execution wastes fabric on control-dense loops.
+        branch_fraction = plan["profile"].branch_fraction
+        estimate /= 1.0 + 3.0 * branch_fraction
+        return max(0.8, estimate)
+
+    # ------------------------------------------------------------------
+    def transform_interval(self, ctx, plan, interval, core_config,
+                           seq_alloc):
+        loop = plan["loop"]
+        dep = plan["dep"]
+        slice_info = plan["slice"]
+        trace = ctx.tdg.trace.instructions
+        spans = ctx.spans_of(loop, interval)
+        vectorizable = dep.vectorizable
+        group_len = core_config.vector_len if vectorizable else 1
+        # Cloning: replicate the compute region across lanes while it
+        # fits the fabric.
+        offloaded = max(1, slice_info.offloaded_count)
+        clone_limit = max(1, CGRA_FUS // offloaded)
+        lanes = min(group_len, clone_limit) if vectorizable else 1
+
+        stream = []
+        seq_map = {}
+        self._maybe_configure(plan, loop, stream, seq_alloc, trace,
+                              interval)
+
+        prev_first_cgra = None
+        prev_last_cgra = None
+        index = 0
+        while index < len(spans):
+            group = spans[index:index + group_len]
+            if vectorizable and len(group) < group_len:
+                for span_start, span_end in group:
+                    for i in range(span_start, span_end):
+                        stream.append(
+                            _remap(trace[i], seq_map))
+                break
+            first_cgra, last_cgra = self._emit_group(
+                trace, group, loop, slice_info, dep, lanes, stream,
+                seq_map, seq_alloc, prev_first_cgra, prev_last_cgra)
+            if first_cgra is not None:
+                prev_first_cgra = first_cgra
+                prev_last_cgra = last_cgra
+            index += group_len
+        return stream
+
+    def _maybe_configure(self, plan, loop, stream, seq_alloc, trace,
+                         interval):
+        cache = plan["config_cache"]
+        if loop.key in cache:
+            cache.remove(loop.key)
+            cache.append(loop.key)
+            return
+        cache.append(loop.key)
+        if len(cache) > CONFIG_CACHE_ENTRIES:
+            cache.pop(0)
+        template = trace[interval[0]]
+        stream.append(template.clone(
+            seq=seq_alloc.next(), opcode=Opcode.CFG, src_deps=(),
+            mem_dep=None, mem_addr=None, mem_lat=0, mem_level=None,
+            taken=None, mispredicted=False, icache_lat=0,
+            lat_override=self.config_latency, vector_width=1))
+
+    def _emit_group(self, trace, group, loop, slice_info, dep, lanes,
+                    stream, seq_map, seq_alloc, prev_first, prev_last):
+        """Emit one (possibly vector) group of iterations.
+
+        Memory/control stay on the core (vectorized when profitable);
+        compute goes to the CGRA with routing-delayed dataflow edges.
+        """
+        loop_uids = {inst.uid for inst in loop.instructions()}
+        instances = {}
+        order = []
+        for span_start, span_end in group:
+            for i in range(span_start, span_end):
+                dyn = trace[i]
+                uid = dyn.uid
+                if uid is None or uid not in loop_uids:
+                    stream.append(_remap(dyn, seq_map))
+                    continue
+                instances.setdefault(uid, []).append(dyn)
+                if len(instances[uid]) == 1:
+                    order.append(uid)
+        order.sort(key=lambda u: (instances[u][0].static.block.index,
+                                  instances[u][0].static.index))
+
+        vector_mode = lanes > 1
+        first_cgra = None
+        last_cgra = None
+        cgra_seqs = set()
+
+        for uid in order:
+            group_insts = instances[uid]
+            rep = group_insts[0]
+            role = slice_info.role_of(uid)
+            new_seq = seq_alloc.next()
+
+            if role == ROLE_EXECUTE:
+                # CGRA op (cloned across lanes when vectorized).
+                deps = []
+                extra = []
+                needs_send = False
+                for d in rep.src_deps:
+                    mapped = seq_map.get(d, d)
+                    if mapped in cgra_seqs:
+                        extra.append((mapped, self.route_delay))
+                    else:
+                        needs_send = True
+                        deps.append(mapped)
+                if needs_send:
+                    # Core -> CGRA operand transfer.
+                    send_seq = seq_alloc.next()
+                    stream.append(rep.clone(
+                        seq=send_seq, opcode=Opcode.SEND, accel=None,
+                        src_deps=tuple(deps), mem_dep=None,
+                        mem_addr=None, mem_lat=0, mem_level=None,
+                        taken=None, mispredicted=False, icache_lat=0,
+                        lat_override=1, vector_width=1))
+                    deps = [send_seq]
+                if prev_first is not None and first_cgra is None:
+                    extra.append((prev_first, PIPELINE_DEPTH))
+                inst = rep.clone(
+                    seq=new_seq, accel=self.name,
+                    src_deps=tuple(deps), extra_deps=tuple(extra),
+                    taken=None, mispredicted=False, icache_lat=0,
+                    vector_width=lanes if vector_mode else 1)
+                stream.append(inst)
+                cgra_seqs.add(new_seq)
+                if first_cgra is None:
+                    first_cgra = new_seq
+                last_cgra = new_seq
+            elif rep.mem_addr is not None:
+                self._emit_memory(uid, group_insts, dep, lanes,
+                                  vector_mode, stream, seq_map,
+                                  seq_alloc, new_seq, cgra_seqs)
+                continue
+            elif role == ROLE_CONTROL or uid in dep.induction_uids \
+                    or rep.opcode is Opcode.BR:
+                last = group_insts[-1]
+                stream.append(last.clone(
+                    seq=new_seq,
+                    src_deps=_map_deps(last, seq_map, new_seq)))
+            else:
+                # Core-side scalar (address computation etc.): once per
+                # group when vectorized (index math is shared).
+                stream.append(rep.clone(
+                    seq=new_seq,
+                    src_deps=_map_deps(rep, seq_map, new_seq),
+                    vector_width=1))
+            for dyn in group_insts:
+                seq_map[dyn.seq] = new_seq
+
+        # CGRA -> core transfer for values read outside (recv); one per
+        # group for the out-communication set.
+        for uid in slice_info.comm_out_uids:
+            reps = instances.get(uid)
+            if not reps:
+                continue
+            mapped = seq_map.get(reps[0].seq)
+            if mapped is None:
+                continue
+            recv_seq = seq_alloc.next()
+            stream.append(reps[0].clone(
+                seq=recv_seq, opcode=Opcode.RECV, accel=None,
+                src_deps=(mapped,), mem_dep=None, mem_addr=None,
+                mem_lat=0, mem_level=None, taken=None,
+                mispredicted=False, icache_lat=0, lat_override=1,
+                vector_width=1))
+            for dyn in instances[uid]:
+                seq_map[dyn.seq] = recv_seq
+        if prev_last is not None and last_cgra is not None:
+            # In-order completion between computation instances.
+            for inst in reversed(stream):
+                if inst.seq == last_cgra:
+                    inst.extra_deps = inst.extra_deps \
+                        + ((prev_last, 0),)
+                    break
+        return first_cgra, last_cgra
+
+    @staticmethod
+    def _emit_memory(uid, group_insts, dep, lanes, vector_mode, stream,
+                     seq_map, seq_alloc, new_seq, cgra_seqs):
+        rep = group_insts[0]
+        stride = dep.stride_of(uid)
+        if vector_mode and stride == 1:
+            worst = max(group_insts, key=lambda d: d.mem_lat)
+            vop = Opcode.VLD if rep.static.is_load else Opcode.VST
+            stream.append(rep.clone(
+                seq=new_seq, opcode=vop, vector_width=len(group_insts),
+                mem_lat=worst.mem_lat, mem_level=worst.mem_level,
+                src_deps=_map_deps(rep, seq_map, new_seq),
+                mem_dep=seq_map.get(rep.mem_dep, rep.mem_dep)))
+            for dyn in group_insts:
+                seq_map[dyn.seq] = new_seq
+            return
+        last_seq = new_seq
+        for lane, dyn in enumerate(group_insts):
+            lane_seq = new_seq if lane == 0 else seq_alloc.next()
+            stream.append(dyn.clone(
+                seq=lane_seq,
+                src_deps=_map_deps(dyn, seq_map, lane_seq),
+                mem_dep=seq_map.get(dyn.mem_dep, dyn.mem_dep)))
+            seq_map[dyn.seq] = lane_seq
+            last_seq = lane_seq
+        del last_seq
+
+
+def _map_deps(dyn, seq_map, own_seq):
+    deps = []
+    for d in dyn.src_deps:
+        mapped = seq_map.get(d, d)
+        if mapped != own_seq:
+            deps.append(mapped)
+    return tuple(deps)
+
+
+def _remap(dyn, seq_map):
+    if any(d in seq_map for d in dyn.src_deps) or dyn.mem_dep in seq_map:
+        return dyn.clone(
+            src_deps=tuple(seq_map.get(d, d) for d in dyn.src_deps),
+            mem_dep=seq_map.get(dyn.mem_dep, dyn.mem_dep))
+    return dyn

@@ -1,0 +1,100 @@
+"""The paper's explanatory example: transparent fused multiply-add.
+
+Section 2.3 walks through the whole TDG flow on this transform:
+
+- *analyzer*: inside each basic block, find an ``fadd`` depending on an
+  ``fmul`` whose result has a single use; record the pair in the plan;
+- *transformer*: over the dynamic trace, retype the ``fmul`` as ``fma``
+  (latency of the fused unit) and elide the ``fadd``, reattaching its
+  other incoming data dependences to the ``fma``.
+
+This module reproduces paper Figure 4 end-to-end and doubles as the
+reference for how transforms are written.
+"""
+
+from repro.isa.opcodes import Opcode, fu_latency
+
+
+def find_fma_pairs(program):
+    """Analyzer: map fadd uid -> fmul uid for fusable pairs.
+
+    Mirrors the pseudo-code of Figure 4(c): iterate instructions of
+    each basic block looking for an ``fadd`` with a dependent ``fmul``
+    that has a single use.
+    """
+    pairs = {}
+    for function in program.functions.values():
+        for block in function.blocks:
+            last_writer = {}
+            use_count = {}
+            for inst in block:
+                for reg in inst.srcs:
+                    producer = last_writer.get(reg)
+                    if producer is not None:
+                        use_count[producer.uid] = \
+                            use_count.get(producer.uid, 0) + 1
+                if inst.dest is not None:
+                    last_writer[inst.dest] = inst
+            # Second pass: match fadd <- fmul single-use pairs.
+            last_writer = {}
+            for inst in block:
+                if inst.opcode is Opcode.FADD:
+                    for reg in inst.srcs:
+                        producer = last_writer.get(reg)
+                        if producer is not None \
+                                and producer.opcode is Opcode.FMUL \
+                                and use_count.get(producer.uid) == 1 \
+                                and producer.uid not in pairs.values():
+                            pairs[inst.uid] = producer.uid
+                            break
+                if inst.dest is not None:
+                    last_writer[inst.dest] = inst
+    return pairs
+
+
+class FmaTransform:
+    """Transformer: apply the fma plan to a dynamic trace."""
+
+    def __init__(self, program):
+        self.pairs = find_fma_pairs(program)       # fadd uid -> fmul uid
+        self._fmul_uids = set(self.pairs.values())
+        self._fadd_uids = set(self.pairs)
+
+    def apply(self, stream):
+        """Return the transformed stream (paper Fig. 4(d))."""
+        out = []
+        # fmul seq -> transformed inst, for attaching fadd deps.
+        pending_fma = {}
+        elided = {}    # elided fadd seq -> fma seq (dep redirection)
+        for dyn in stream:
+            uid = dyn.uid
+            if uid in self._fmul_uids:
+                fma = dyn.clone(opcode=Opcode.FMA,
+                                lat_override=fu_latency(Opcode.FMA))
+                pending_fma[dyn.seq] = fma
+                out.append(fma)
+                continue
+            if uid in self._fadd_uids:
+                # Find the fma this fadd fuses with (its fmul operand).
+                fma = None
+                for dep in dyn.src_deps:
+                    if dep in pending_fma:
+                        fma = pending_fma.pop(dep)
+                        break
+                if fma is not None:
+                    # Attach the fadd's other input deps to the fma.
+                    extra = tuple(d for d in dyn.src_deps
+                                  if d != fma.seq)
+                    fma.src_deps = tuple(set(fma.src_deps) | set(extra))
+                    elided[dyn.seq] = fma.seq
+                    continue
+            # Normal path; redirect deps on elided fadds to their fma.
+            if any(dep in elided for dep in dyn.src_deps):
+                dyn = dyn.clone(src_deps=tuple(
+                    elided.get(dep, dep) for dep in dyn.src_deps))
+            out.append(dyn)
+        return out
+
+    @property
+    def pair_count(self):
+        return len(self.pairs)

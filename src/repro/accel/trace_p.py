@@ -1,0 +1,235 @@
+"""Trace-Speculative Processor model (BERET-like + dataflow, sec 3.2).
+
+Analyzer: inner loops with loop-back probability above 80% and a
+configuration that fits the hardware limit; the hot path comes from
+path profiling.  Compound instructions may cross control boundaries
+(so Trace-P fuses larger CFUs than NS-DF, paper Table 2).
+
+Transformer: iterations following the hot path run speculatively on
+the accelerator — branches become cheap verify ops with *no* control
+dependences; stores go to an iteration-versioned store buffer.
+Iterations that diverge from the hot trace mispeculate: their work is
+replayed on the general core behind a flush penalty, and the trace
+engine restarts.
+"""
+
+from repro.isa.opcodes import Opcode, is_compute
+from repro.accel.base import BSAModel, CFUFolder, apply_dataflow_latency
+from repro.analysis.cfu import schedule_cfus
+from repro.analysis.memdep import iteration_spans
+from repro.tdg.engine import AccelResources
+
+#: Minimum loop-back probability (paper: "higher than 80%").
+LOOP_BACK_THRESHOLD = 0.80
+
+#: Static compound-instruction budget (half of NS-DF's operand storage,
+#: but larger CFUs, per Table 2).
+STATIC_CFU_BUDGET = 128
+
+#: Max ops per compound instruction (crosses control boundaries).
+MAX_CFU_SIZE = 6
+
+#: Writeback capacity (values/cycle).
+WRITEBACK_BUS = 2
+
+#: In-flight window: half of NS-DF's operand storage (paper 3.1).
+OPERAND_STORAGE = 128
+
+#: Flush + restart penalty on a trace mispeculation (cycles).
+MISPEC_PENALTY = 8
+
+#: Minimum fraction of iterations on the hot path for profitability.
+HOT_PATH_THRESHOLD = 0.50
+
+#: Operand forwarding latency between dataflow CFUs (shared writeback
+#: bus arbitration, as in the SEED/BERET-style fabrics).
+DATAFLOW_EDGE_LATENCY = 1
+
+
+class TraceProcessorModel(BSAModel):
+    """Trace-speculative dataflow BSA."""
+
+    name = "trace_p"
+    power_gates_core = True
+
+    def accel_resources(self, core_config):
+        # Half of NS-DF's operand storage (paper section 3.1).
+        return AccelResources({self.name: WRITEBACK_BUS},
+                              windows={self.name: OPERAND_STORAGE})
+
+    @property
+    def mispec_penalty(self):
+        """Detailed reference models the full flush + trace-cache
+        refill; the fast model uses the nominal penalty."""
+        return 14 if self.detailed else MISPEC_PENALTY
+
+    def region_entry_overhead(self, plan):
+        overhead = 4 + plan.get("live_ins", 2)
+        return 2 * overhead if self.detailed else overhead
+
+    def find_candidates(self, ctx):
+        plans = {}
+        for loop in ctx.forest:
+            if not loop.is_inner:
+                continue
+            profile = ctx.path_profiles.get(loop.key)
+            if profile is None or profile.iterations < 4:
+                continue
+            if profile.loop_back_probability < LOOP_BACK_THRESHOLD:
+                continue
+            if profile.hot_path_probability < HOT_PATH_THRESHOLD:
+                continue
+            has_call = any(
+                inst.opcode in (Opcode.CALL, Opcode.RET)
+                for inst in loop.instructions()
+            )
+            if has_call:
+                continue
+            hot_path = profile.hot_path
+            hot_uids = {
+                inst.uid
+                for label in hot_path
+                for inst in loop.function.block(label)
+            }
+            schedule = schedule_cfus(loop, max_cfu_size=MAX_CFU_SIZE,
+                                     cross_control=True,
+                                     eligible_uids=hot_uids)
+            if schedule.compound_count > STATIC_CFU_BUDGET:
+                continue
+            plans[loop.key] = {
+                "loop": loop,
+                "profile": profile,
+                "hot_path": tuple(hot_path),
+                "hot_uids": hot_uids,
+                "schedule": schedule,
+                "live_ins": min(6, max(2, loop.static_size() // 16)),
+            }
+        return plans
+
+    def estimate_speedup(self, ctx, plan, core_config):
+        profile = plan["profile"]
+        hot = profile.hot_path_probability
+        width_discount = {1: 1.2, 2: 0.95, 4: 0.7, 6: 0.6, 8: 0.5}.get(
+            core_config.width, 1.0)
+        if core_config.in_order:
+            width_discount *= 1.35
+        # Divergent iterations replay on the core (~2x their cost).
+        replay_discount = 1.0 / (hot + 2.0 * (1.0 - hot))
+        return max(0.5, (0.55 + hot) * width_discount
+                   * replay_discount)
+
+    # ------------------------------------------------------------------
+    def transform_interval(self, ctx, plan, interval, core_config,
+                           seq_alloc):
+        loop = plan["loop"]
+        schedule = plan["schedule"]
+        hot_path = plan["hot_path"]
+        trace = ctx.tdg.trace.instructions
+        spans = ctx.spans_of(loop, interval)
+        loop_uids = {inst.uid for inst in loop.instructions()}
+
+        stream = []
+        seq_map = {}
+        last_accel_seq = None
+        restart_edge = None   # (seq, latency) after a mispeculation
+
+        for span_start, span_end in spans:
+            path = _iteration_path(trace, span_start, span_end, loop)
+            on_trace = tuple(path) == hot_path
+            if on_trace:
+                folder = CFUFolder(schedule, self.name, seq_alloc,
+                                   seq_map)
+                first_in_iter = True
+                for index in range(span_start, span_end):
+                    dyn = trace[index]
+                    uid = dyn.uid
+                    opcode = dyn.opcode
+                    if uid is None or uid not in loop_uids:
+                        stream.append(_remap(dyn, seq_map))
+                        continue
+                    mapped = _map_deps(dyn, seq_map)
+                    entry_edge = ()
+                    if first_in_iter and restart_edge is not None:
+                        entry_edge = (restart_edge,)
+                        restart_edge = None
+                    first_in_iter = False
+                    if opcode is Opcode.JMP:
+                        continue
+                    if opcode is Opcode.BR:
+                        # Speculative: branch is a cheap verify op with
+                        # no control dependence.
+                        seq = seq_alloc.next()
+                        stream.append(dyn.clone(
+                            seq=seq, opcode=Opcode.SWITCH,
+                            accel=self.name, src_deps=mapped,
+                            extra_deps=entry_edge, mispredicted=False,
+                            icache_lat=0, lat_override=1))
+                        seq_map[dyn.seq] = seq
+                        last_accel_seq = seq
+                    elif dyn.mem_addr is not None:
+                        seq = seq_alloc.next()
+                        stream.append(dyn.clone(
+                            seq=seq, accel=self.name, src_deps=mapped,
+                            extra_deps=entry_edge, icache_lat=0,
+                            mem_dep=seq_map.get(dyn.mem_dep,
+                                                dyn.mem_dep)))
+                        seq_map[dyn.seq] = seq
+                        last_accel_seq = seq
+                    elif is_compute(opcode) or opcode in (Opcode.MOV,
+                                                          Opcode.LI):
+                        inst = folder.process(dyn, mapped)
+                        if inst is not None:
+                            inst.extra_deps = inst.extra_deps \
+                                + entry_edge
+                            stream.append(inst)
+                            last_accel_seq = inst.seq
+                    else:
+                        stream.append(_remap(dyn, seq_map))
+            else:
+                # Trace mispeculation: replay the iteration on the
+                # general core behind the flush penalty.
+                first = True
+                last_core_seq = None
+                for index in range(span_start, span_end):
+                    dyn = trace[index]
+                    inst = _remap(dyn, seq_map)
+                    if first and last_accel_seq is not None:
+                        inst = inst.clone(extra_deps=inst.extra_deps + (
+                            (last_accel_seq, self.mispec_penalty),))
+                    first = False
+                    stream.append(inst)
+                    last_core_seq = inst.seq
+                if last_core_seq is not None:
+                    restart_edge = (last_core_seq, 2)
+        latency = DATAFLOW_EDGE_LATENCY + (1 if self.detailed else 0)
+        return apply_dataflow_latency(stream, latency)
+
+
+def _iteration_path(trace, start, end, loop):
+    """Block-label path of one iteration (loop's own blocks)."""
+    path = []
+    function_name = loop.function.name
+    for index in range(start, end):
+        static = trace[index].static
+        if static is None:
+            continue
+        block = static.block
+        if block.function.name != function_name \
+                or block.label not in loop.blocks:
+            continue
+        if static.index == 0 or not path:
+            if not path or path[-1] != block.label:
+                path.append(block.label)
+    return path
+
+
+def _map_deps(dyn, seq_map):
+    return tuple(seq_map.get(d, d) for d in dyn.src_deps)
+
+
+def _remap(dyn, seq_map):
+    if any(d in seq_map for d in dyn.src_deps) or dyn.mem_dep in seq_map:
+        return dyn.clone(
+            src_deps=tuple(seq_map.get(d, d) for d in dyn.src_deps),
+            mem_dep=seq_map.get(dyn.mem_dep, dyn.mem_dep))
+    return dyn

@@ -1,0 +1,92 @@
+"""Program-behavior taxonomy (paper Figure 6).
+
+Classifies each loop into the leaf behaviors of the paper's behavior
+space, which map one-to-one onto specialization mechanisms:
+
+====================================  =========================
+behavior                              mechanism
+====================================  =========================
+data parallel, low control            Vectorization+Predication
+data parallel, separable              Vectorization+Access-Execute
+non-data-parallel, non-critical ctrl  Non-Speculative Dataflow
+control critical but consistent       Trace-Speculative Core
+control critical and varying          (general core)
+low potential ILP                     Simple core
+====================================  =========================
+"""
+
+import enum
+
+from repro.isa.opcodes import is_compute
+
+
+class BehaviorClass(enum.Enum):
+    """Leaves of the paper's Fig. 6 behavior space."""
+
+    DATA_PARALLEL_LOW_CONTROL = "vectorization+predication"
+    DATA_PARALLEL_SEPARABLE = "vectorization+access-execute"
+    NON_CRITICAL_CONTROL = "non-speculative dataflow"
+    CONSISTENT_CONTROL = "trace-speculative core"
+    VARYING_CONTROL = "general core"
+    LOW_ILP = "simple core"
+
+
+#: Hot-path probability above which control is "consistent" (paper:
+#: loop-back probability 80% + hot traces).
+_CONSISTENT_THRESHOLD = 0.80
+
+#: Ops-per-critical-path-length below which ILP potential is "low".
+_LOW_ILP_THRESHOLD = 1.5
+
+
+def dataflow_ilp(loop):
+    """Approximate potential ILP: compute ops / longest static
+    dependence chain, over the loop's blocks."""
+    depth = {}
+    n_ops = 0
+    longest = 1
+    for label in sorted(loop.blocks):
+        block = loop.function.block(label)
+        last_writer = {}
+        for inst in block:
+            if not (is_compute(inst.opcode) or inst.is_memory):
+                continue
+            n_ops += 1
+            d = 1
+            for reg in inst.srcs:
+                producer = last_writer.get(reg)
+                if producer is not None:
+                    d = max(d, depth[producer] + 1)
+            depth[inst.uid] = d
+            longest = max(longest, d)
+            if inst.dest is not None:
+                last_writer[inst.dest] = inst.uid
+    if not n_ops:
+        return 1.0
+    return n_ops / longest
+
+
+def classify_loop(dep_info, path_profile, slice_info):
+    """Assign a BehaviorClass to a loop given its analyses."""
+    loop = dep_info.loop
+    n_blocks = len(loop.blocks)
+    vectorizable = dep_info.vectorizable
+    hot_prob = path_profile.hot_path_probability
+    ilp = dataflow_ilp(loop)
+
+    if vectorizable:
+        if n_blocks <= 2 and dep_info.contiguous_fraction() >= 0.5:
+            return BehaviorClass.DATA_PARALLEL_LOW_CONTROL
+        if slice_info.profitable:
+            return BehaviorClass.DATA_PARALLEL_SEPARABLE
+        return BehaviorClass.DATA_PARALLEL_LOW_CONTROL
+    if ilp < _LOW_ILP_THRESHOLD and n_blocks <= 2:
+        return BehaviorClass.LOW_ILP
+    if n_blocks <= 2 or ilp >= _LOW_ILP_THRESHOLD:
+        if n_blocks > 2 and hot_prob >= _CONSISTENT_THRESHOLD:
+            return BehaviorClass.CONSISTENT_CONTROL
+        if n_blocks <= 4:
+            return BehaviorClass.NON_CRITICAL_CONTROL
+    if hot_prob >= _CONSISTENT_THRESHOLD:
+        return BehaviorClass.CONSISTENT_CONTROL
+    return BehaviorClass.VARYING_CONTROL

@@ -1,0 +1,74 @@
+"""CFG orderings and dominator analysis.
+
+Standard iterative dominator computation (Cooper-Harvey-Kennedy style
+but on label sets, which is plenty for our block counts), used to find
+natural loops.
+"""
+
+
+def successors_map(function):
+    """Map label -> list of successor labels."""
+    return {block.label: block.successors() for block in function.blocks}
+
+
+def reverse_post_order(function):
+    """Labels in reverse post-order from the entry (unreachable blocks
+    are excluded)."""
+    succs = successors_map(function)
+    visited = set()
+    order = []
+
+    entry = function.entry.label
+    # Iterative DFS with an explicit stack (post-order on exit).
+    stack = [(entry, iter(succs[entry]))]
+    visited.add(entry)
+    while stack:
+        label, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(succs[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(label)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def dominators(function):
+    """Map label -> set of labels dominating it (including itself)."""
+    order = reverse_post_order(function)
+    preds = function.predecessors()
+    entry = function.entry.label
+    reachable = set(order)
+    dom = {label: set(order) for label in order}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            pred_doms = [dom[p] for p in preds[label] if p in reachable]
+            if pred_doms:
+                new = set.intersection(*pred_doms)
+            else:
+                new = set()
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def back_edges(function):
+    """CFG edges (tail, head) where head dominates tail (loop latches)."""
+    dom = dominators(function)
+    edges = []
+    for src, dst in function.cfg_edges():
+        if src in dom and dst in dom.get(src, ()):
+            edges.append((src, dst))
+    return edges

@@ -1,0 +1,118 @@
+"""Loop path profiling (the Ball-Larus role in the paper).
+
+For each loop we profile, per dynamic iteration, the sequence of its
+own basic blocks executed — a "path".  Trace-P uses the hot path and
+its probability; SIMD's profitability test uses expected dynamic
+instructions per iteration; the Amdahl tree uses trip counts.
+"""
+
+from collections import Counter
+
+from repro.isa.opcodes import Opcode
+from repro.analysis.regions import loop_intervals
+
+
+class LoopPathProfile:
+    """Path statistics for one loop."""
+
+    def __init__(self, loop):
+        self.loop = loop
+        self.invocations = 0
+        self.iterations = 0
+        self.dyn_insts = 0
+        self.branch_insts = 0           # dynamic conditional branches
+        self.path_counts = Counter()    # tuple(labels) -> count
+
+    @property
+    def key(self):
+        return self.loop.key
+
+    @property
+    def hot_path(self):
+        if not self.path_counts:
+            return ()
+        return self.path_counts.most_common(1)[0][0]
+
+    @property
+    def hot_path_probability(self):
+        if not self.iterations:
+            return 0.0
+        return self.path_counts.most_common(1)[0][1] / self.iterations
+
+    @property
+    def loop_back_probability(self):
+        """Probability an iteration is followed by another (paper's
+        Trace-P eligibility uses > 80%)."""
+        if not self.iterations:
+            return 0.0
+        return max(0.0, (self.iterations - self.invocations)
+                   / self.iterations)
+
+    @property
+    def average_trip_count(self):
+        if not self.invocations:
+            return 0.0
+        return self.iterations / self.invocations
+
+    @property
+    def branch_fraction(self):
+        """Dynamic conditional-branch density inside the loop."""
+        if not self.dyn_insts:
+            return 0.0
+        return self.branch_insts / self.dyn_insts
+
+    @property
+    def insts_per_iteration(self):
+        if not self.iterations:
+            return 0.0
+        return self.dyn_insts / self.iterations
+
+    def __repr__(self):
+        return (f"<LoopPathProfile {self.key}: {self.iterations} iters, "
+                f"hot={self.hot_path_probability:.2f}>")
+
+
+def profile_paths(tdg, forest=None, intervals=None):
+    """Profile every loop; returns {loop key: LoopPathProfile}."""
+    if forest is None:
+        forest = tdg.loop_tree
+    if intervals is None:
+        intervals = loop_intervals(tdg, forest)
+    trace = tdg.trace.instructions
+    profiles = {}
+    for loop in forest:
+        profile = LoopPathProfile(loop)
+        spans = intervals.get(loop.key, ())
+        header = loop.header
+        function_name = loop.function.name
+        blocks = loop.blocks
+        for start, end in spans:
+            profile.invocations += 1
+            current_path = []
+            for dyn in trace[start:end]:
+                static = dyn.static
+                if static is None:
+                    continue
+                block = static.block
+                if block.function.name != function_name \
+                        or block.label not in blocks:
+                    continue  # callee code or non-loop block
+                profile.dyn_insts += 1
+                if static.opcode is Opcode.BR:
+                    profile.branch_insts += 1
+                # A block entry is the execution of its first inst.
+                if static.index == 0:
+                    if block.label == header and current_path:
+                        profile.path_counts[tuple(current_path)] += 1
+                        profile.iterations += 1
+                        current_path = []
+                    current_path.append(block.label)
+                elif not current_path:
+                    # Invocation started mid-block (do-while latch):
+                    # count the header implicitly.
+                    current_path.append(block.label)
+            if current_path:
+                profile.path_counts[tuple(current_path)] += 1
+                profile.iterations += 1
+        profiles[loop.key] = profile
+    return profiles

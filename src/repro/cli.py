@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                      enumerate the workload suite (Table 3)
+trace NAME                simulate one benchmark, print trace stats
+run NAME                  evaluate one benchmark on ExoCores
+classify NAME             behavior classes of its loops (Fig. 6)
+sweep [NAMES...]          design-space exploration (Figs. 10-13)
+validate                  regenerate the Table 1 validation summary
+"""
+
+import argparse
+import sys
+
+ALL_BSAS = ("simd", "dp_cgra", "ns_df", "trace_p")
+
+
+def _cmd_list(_args):
+    from repro.workloads import WORKLOADS, SUITE_CATEGORY
+    print(f"{'name':<14} {'suite':<12} {'category':<12} description")
+    print("-" * 78)
+    for name in sorted(WORKLOADS):
+        w = WORKLOADS[name]
+        print(f"{name:<14} {w.suite:<12} {w.category:<12} "
+              f"{w.description}")
+    print(f"\n{len(WORKLOADS)} benchmarks across "
+          f"{len(SUITE_CATEGORY)} suites")
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.workloads import WORKLOADS
+    tdg = WORKLOADS[args.name].construct_tdg(scale=args.scale)
+    trace = tdg.trace
+    print(f"{args.name}: {len(trace)} dynamic instructions, "
+          f"{len(tdg.program)} static")
+    print(f"loops: {len(tdg.loop_tree)}  "
+          f"(roots: {len(tdg.loop_tree.roots)})")
+    print(f"memory accesses: {trace.memory_access_count()}")
+    print(f"branch mispredicts: {trace.mispredict_count()}")
+    counts = sorted(trace.count_opcodes().items(),
+                    key=lambda kv: -kv[1])[:10]
+    print("top opcodes:", ", ".join(
+        f"{op.value}={n}" for op, n in counts))
+    return 0
+
+
+def _cmd_run(args):
+    from repro.core_model import core_by_name
+    from repro.energy import exocore_area
+    from repro.exocore import evaluate_benchmark, oracle_schedule
+    from repro.workloads import WORKLOADS
+
+    bsas = tuple(args.bsas.split(",")) if args.bsas else ALL_BSAS
+    tdg = WORKLOADS[args.name].construct_tdg(scale=args.scale)
+    evaluation = evaluate_benchmark(tdg, name=args.name)
+    print(f"{'design':<16} {'cycles':>10} {'nJ':>10} {'speedup':>8} "
+          f"{'energyX':>8} {'area':>6}")
+    for core in ("IO2", "OOO2", "OOO4", "OOO6"):
+        base = evaluation.baseline(core)
+        schedule = oracle_schedule(evaluation, core, bsas)
+        area = exocore_area(core_by_name(core), bsas)
+        print(f"{core + '-Exo':<16} {schedule.cycles:>10} "
+              f"{schedule.energy_pj / 1000:>10.1f} "
+              f"{base.cycles / schedule.cycles:>8.2f} "
+              f"{base.energy_pj / schedule.energy_pj:>8.2f} "
+              f"{area:>6.2f}")
+    schedule = oracle_schedule(evaluation, "OOO2", bsas)
+    print("\nOOO2 assignment:")
+    for key, unit in sorted(schedule.assignment.items()):
+        print(f"  {key[0]}/{key[1]:<14} -> {unit}")
+    return 0
+
+
+def _cmd_classify(args):
+    from repro.accel import AnalysisContext
+    from repro.analysis import classify_loop
+    from repro.workloads import WORKLOADS
+    tdg = WORKLOADS[args.name].construct_tdg(scale=args.scale)
+    ctx = AnalysisContext(tdg)
+    for loop in ctx.forest:
+        if not loop.is_inner:
+            continue
+        behavior = classify_loop(ctx.dep_info(loop),
+                                 ctx.path_profiles[loop.key],
+                                 ctx.slice_info(loop))
+        profile = ctx.path_profiles[loop.key]
+        print(f"{loop.header:<14} {behavior.value:<34} "
+              f"(iters={profile.iterations}, "
+              f"hot={profile.hot_path_probability:.2f})")
+    return 0
+
+
+def _cmd_sweep(args):
+    from repro.dse import run_sweep, fig10_table, fig12_table
+    from repro.dse.report import render_table
+    from repro.dse.plots import frontier_plot
+    names = args.names or None
+    sweep = run_sweep(names=names, scale=args.scale,
+                      with_amdahl=False,
+                      progress=lambda n: print("  ...", n,
+                                               file=sys.stderr))
+    print("== Fig 10: tradeoffs ==")
+    print(render_table(fig10_table(sweep)))
+    rows = fig12_table(sweep)
+    print("\n== Fig 12: 64 design points ==")
+    print(render_table(rows, columns=("design", "speedup",
+                                      "energy_eff", "area")))
+    print("\n== energy-performance space ==")
+    print(frontier_plot(rows))
+    return 0
+
+
+def _cmd_validate(args):
+    from repro.validation import table1
+    rows = table1(scale=args.scale)
+    print(f"{'Accel.':>8} {'Base':>5} {'P Err.':>7} {'E Err.':>7}")
+    for row in rows:
+        print(f"{row['accel']:>8} {row['base']:>5} "
+              f"{row['perf_err'] * 100:>6.1f}% "
+              f"{row['energy_err'] * 100:>6.1f}%")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TDG modeling and ExoCore exploration "
+                    "(ASPLOS 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads")
+
+    p = sub.add_parser("trace", help="trace statistics")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("run", help="evaluate one benchmark")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--bsas", default=None,
+                   help="comma-separated subset (default: all four)")
+
+    p = sub.add_parser("classify", help="behavior taxonomy")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=0.5)
+
+    p = sub.add_parser("sweep", help="design-space exploration")
+    p.add_argument("names", nargs="*")
+    p.add_argument("--scale", type=float, default=0.5)
+
+    p = sub.add_parser("validate", help="Table 1 validation")
+    p.add_argument("--scale", type=float, default=0.3)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "trace": _cmd_trace,
+        "run": _cmd_run,
+        "classify": _cmd_classify,
+        "sweep": _cmd_sweep,
+        "validate": _cmd_validate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""General-purpose-core configurations and helpers (paper Table 4)."""
+
+from repro.core_model.config import (
+    CoreConfig,
+    IO2,
+    OOO1,
+    OOO2,
+    OOO4,
+    OOO6,
+    OOO8,
+    CORE_PRESETS,
+    core_by_name,
+)
+
+__all__ = [
+    "CoreConfig",
+    "IO2",
+    "OOO1",
+    "OOO2",
+    "OOO4",
+    "OOO6",
+    "OOO8",
+    "CORE_PRESETS",
+    "core_by_name",
+]

@@ -1,0 +1,98 @@
+"""Core configurations, mirroring paper Table 4.
+
+================  ====  =====  =====  =====
+parameter         IO2   OOO2   OOO4   OOO6
+================  ====  =====  =====  =====
+width             2     2      4      6
+ROB size          --    64     168    192
+instr. window     --    32     48     52
+D-cache ports     1     1      2      3
+FUs (alu/mul/fp)  2/1/1 2/1/1  3/2/2  4/2/3
+================  ====  =====  =====  =====
+
+OOO1 and OOO8 exist for the paper's cross-validation experiment
+(Table 1 rows "OOO8->1" / "OOO1->8"); they linearly extend the table.
+All cores share the cache hierarchy of section 4 and 256-bit SIMD
+(4 x 64-bit lanes) when a SIMD BSA is attached.
+"""
+
+from repro.isa.opcodes import OpClass
+
+
+class CoreConfig:
+    """Micro-architectural parameters for one general-purpose core."""
+
+    def __init__(self, name, width, rob_size=None, iq_size=None,
+                 dcache_ports=1, alu_units=2, mul_units=1, fp_units=1,
+                 in_order=False, decode_depth=None, branch_penalty=2,
+                 vector_len=4):
+        self.name = name
+        self.width = width
+        self.rob_size = rob_size
+        self.iq_size = iq_size
+        self.dcache_ports = dcache_ports
+        self.alu_units = alu_units
+        self.mul_units = mul_units
+        self.fp_units = fp_units
+        self.in_order = in_order
+        # Front-end depth grows a little with machine complexity.
+        if decode_depth is None:
+            decode_depth = 3 if in_order else 4
+        self.decode_depth = decode_depth
+        self.branch_penalty = branch_penalty
+        self.vector_len = vector_len
+        if in_order and (rob_size or iq_size):
+            raise ValueError("in-order cores have no ROB / issue queue")
+        if not in_order and not (rob_size and iq_size):
+            raise ValueError("OOO cores need rob_size and iq_size")
+
+    def fu_count(self, op_class):
+        """Number of units able to execute *op_class*."""
+        if op_class in (OpClass.ALU, OpClass.BRANCH, OpClass.CONTROL):
+            return self.alu_units
+        if op_class is OpClass.MUL:
+            return self.mul_units
+        if op_class in (OpClass.FP, OpClass.FP_DIV):
+            return self.fp_units
+        if op_class in (OpClass.MEM_LD, OpClass.MEM_ST):
+            return self.dcache_ports
+        return self.alu_units  # ACCEL plumbing issues like ALU ops
+
+    def __repr__(self):
+        kind = "in-order" if self.in_order else "OOO"
+        return f"<CoreConfig {self.name} ({kind}, width={self.width})>"
+
+
+IO2 = CoreConfig("IO2", width=2, dcache_ports=1,
+                 alu_units=2, mul_units=1, fp_units=1, in_order=True)
+
+OOO1 = CoreConfig("OOO1", width=1, rob_size=32, iq_size=16,
+                  dcache_ports=1, alu_units=1, mul_units=1, fp_units=1)
+
+OOO2 = CoreConfig("OOO2", width=2, rob_size=64, iq_size=32,
+                  dcache_ports=1, alu_units=2, mul_units=1, fp_units=1)
+
+OOO4 = CoreConfig("OOO4", width=4, rob_size=168, iq_size=48,
+                  dcache_ports=2, alu_units=3, mul_units=2, fp_units=2)
+
+OOO6 = CoreConfig("OOO6", width=6, rob_size=192, iq_size=52,
+                  dcache_ports=3, alu_units=4, mul_units=2, fp_units=3)
+
+OOO8 = CoreConfig("OOO8", width=8, rob_size=256, iq_size=64,
+                  dcache_ports=4, alu_units=6, mul_units=3, fp_units=4)
+
+#: The paper's design-space cores (Table 4) plus validation extremes.
+CORE_PRESETS = {c.name: c for c in (IO2, OOO1, OOO2, OOO4, OOO6, OOO8)}
+
+#: The four cores used in the ExoCore design-space exploration.
+DSE_CORES = ("IO2", "OOO2", "OOO4", "OOO6")
+
+
+def core_by_name(name):
+    """Look up a preset CoreConfig by name (e.g. ``"OOO2"``)."""
+    try:
+        return CORE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown core {name!r}; choose from {sorted(CORE_PRESETS)}"
+        ) from None

@@ -1,0 +1,34 @@
+"""Design-space exploration harness (paper section 5).
+
+Runs benchmarks through the TDG pipeline across 4 general cores x 16
+BSA subsets (64 ExoCore design points) and aggregates the series each
+figure of the paper reports.
+"""
+
+from repro.dse.sweep import (
+    BenchmarkResult, SweepResult, run_sweep, ALL_SUBSETS, subset_label,
+)
+from repro.dse.report import (
+    fig10_table, fig11_table, fig12_table, fig13_table, fig15_table,
+    geomean,
+)
+from repro.dse.persist import save_sweep, load_sweep
+from repro.dse.plots import ascii_scatter, frontier_plot
+
+__all__ = [
+    "BenchmarkResult",
+    "SweepResult",
+    "run_sweep",
+    "ALL_SUBSETS",
+    "subset_label",
+    "fig10_table",
+    "fig11_table",
+    "fig12_table",
+    "fig13_table",
+    "fig15_table",
+    "geomean",
+    "save_sweep",
+    "load_sweep",
+    "ascii_scatter",
+    "frontier_plot",
+]

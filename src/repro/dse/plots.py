@@ -1,0 +1,117 @@
+"""ASCII plotting for the paper's figures.
+
+The benchmark harness prints tables; these helpers render the same
+data as terminal scatter/line plots so the energy-performance
+frontiers of Figures 3/10/12 and the validation scatter of Figure 5
+are visible at a glance without a plotting stack.
+"""
+
+
+def ascii_scatter(points, width=64, height=20, x_label="x",
+                  y_label="y", unit_line=False):
+    """Render labeled (x, y, marker) points as an ASCII scatter.
+
+    *points* is an iterable of (x, y) or (x, y, marker) tuples.
+    ``unit_line`` draws y=x (used for validation scatter, Fig. 5).
+    """
+    normalized = []
+    for point in points:
+        if len(point) == 2:
+            x, y = point
+            marker = "o"
+        else:
+            x, y, marker = point
+        normalized.append((float(x), float(y), str(marker)[0]))
+    if not normalized:
+        return "(no points)"
+
+    xs = [p[0] for p in normalized]
+    ys = [p[1] for p in normalized]
+    x_lo, x_hi = min(xs + ([0.0] if unit_line else [])), max(xs)
+    y_lo, y_hi = min(ys + ([0.0] if unit_line else [])), max(ys)
+    if unit_line:
+        x_hi = y_hi = max(x_hi, y_hi)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x, y, marker):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    if unit_line:
+        for col in range(width):
+            x = x_lo + col / (width - 1) * x_span
+            if y_lo <= x <= y_hi:
+                row = height - 1 - int((x - y_lo) / y_span
+                                       * (height - 1))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+    for x, y, marker in normalized:
+        place(x, y, marker)
+
+    lines = []
+    for index, row in enumerate(grid):
+        label = f"{y_hi:8.2f} |" if index == 0 else (
+            f"{y_lo:8.2f} |" if index == height - 1 else
+            f"{'':8} |")
+        lines.append(label + "".join(row))
+    lines.append(f"{'':8} +" + "-" * width)
+    lines.append(f"{'':10}{x_lo:<10.2f}{x_label:^{width - 20}}"
+                 f"{x_hi:>10.2f}")
+    lines.insert(0, f"{y_label} vs {x_label}")
+    return "\n".join(lines)
+
+
+def frontier_plot(rows, x_key="speedup", y_key="energy_eff",
+                  marker_key="core", width=64, height=20):
+    """Scatter of design points marked by core (Fig. 12 / Fig. 3)."""
+    markers = {"IO2": "i", "OOO2": "2", "OOO4": "4", "OOO6": "6"}
+    points = [
+        (row[x_key], row[y_key],
+         markers.get(row.get(marker_key), "o"))
+        for row in rows
+    ]
+    legend = "  ".join(f"{m}={core}" for core, m in markers.items())
+    return (ascii_scatter(points, width=width, height=height,
+                          x_label=x_key, y_label=y_key)
+            + f"\n{'':10}legend: {legend}")
+
+
+def validation_plot(points, metric="speedup", width=48, height=16):
+    """Projected-vs-reference scatter with a y=x unit line (Fig. 5)."""
+    data = [(p.reference, p.predicted) for p in points]
+    return ascii_scatter(
+        data, width=width, height=height,
+        x_label=f"reference {metric}",
+        y_label=f"projected {metric}", unit_line=True)
+
+
+def breakdown_bars(rows, keys, label_key, width=40, total_key=None):
+    """Stacked horizontal bars (Fig. 13 style), one row per benchmark.
+
+    Each key gets a letter (first character of its suffix); bar length
+    is proportional to the row total (relative time/energy).
+    """
+    letters = {}
+    for key in keys:
+        suffix = key.rsplit("_", 1)[-1]
+        letters[key] = {"gpp": "#", "simd": "S", "cgra": "D",
+                        "df": "N", "p": "T"}.get(suffix,
+                                                 suffix[0].upper())
+    lines = []
+    for row in rows:
+        total = row[total_key] if total_key else \
+            sum(row[k] for k in keys)
+        bar = ""
+        for key in keys:
+            span = int(round(row[key] * width))
+            bar += letters[key] * span
+        lines.append(f"{row[label_key]:>14} |{bar:<{width + 8}}| "
+                     f"{total:.2f}")
+    legend = "  ".join(f"{letters[k]}={k.rsplit('_', 1)[-1]}"
+                       for k in keys)
+    lines.append(f"{'':>14}  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Aggregation + text tables regenerating the paper's figures.
+
+All relative metrics are normalized the way Figure 12 normalizes: each
+design point is reported relative to the dual-issue in-order core
+(IO2) baseline, using geometric means across benchmarks.
+"""
+
+import math
+
+from repro.dse.sweep import ALL_BSAS, subset_label
+from repro.energy.area import exocore_area
+from repro.core_model import core_by_name
+
+#: Reference design for relative metrics (paper Fig. 12: "all points
+#: are relative to the dual-issue in-order (IO2) design").
+REFERENCE_CORE = "IO2"
+
+FULL_SUBSET = ALL_BSAS
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _point_metrics(sweep, core, subset, category=None):
+    """Geomean (speedup, energy_eff) of a design point vs IO2 base."""
+    speedups = []
+    energy_effs = []
+    for record in sweep.benchmarks(category):
+        ref_cycles, ref_energy, _ = record.baseline[REFERENCE_CORE]
+        summary = record.summary(core, subset)
+        speedups.append(ref_cycles / max(1, summary["cycles"]))
+        energy_effs.append(ref_energy / max(1.0, summary["energy_pj"]))
+    return geomean(speedups), geomean(energy_effs)
+
+
+def fig10_table(sweep, category=None):
+    """Figure 10/3 series: per (accel-line, core) relative performance
+    and energy efficiency.  Lines: none, each single BSA, full ExoCore.
+    """
+    lines = [()] + [(b,) for b in ALL_BSAS] + [FULL_SUBSET]
+    rows = []
+    for subset in lines:
+        if subset == ():
+            label = "gen-core-only"
+        elif subset == FULL_SUBSET:
+            label = "exocore-full"
+        else:
+            label = subset[0]
+        for core in sweep.core_names:
+            speedup, eff = _point_metrics(sweep, core, subset, category)
+            rows.append({
+                "line": label,
+                "core": core,
+                "rel_performance": speedup,
+                "rel_energy_eff": eff,
+            })
+    return rows
+
+
+def fig11_table(sweep):
+    """Figure 11: the Fig. 10 series split by workload category."""
+    return {
+        category: fig10_table(sweep, category)
+        for category in ("regular", "semiregular", "irregular")
+    }
+
+
+def fig12_table(sweep):
+    """Figure 12: all 64 design points — speedup, energy efficiency
+    and area relative to IO2, sorted by speedup (as the paper plots)."""
+    ref_area = exocore_area(core_by_name(REFERENCE_CORE), ())
+    rows = []
+    for core in sweep.core_names:
+        for subset in sweep.subsets:
+            speedup, eff = _point_metrics(sweep, core, subset)
+            area = exocore_area(core_by_name(core), subset)
+            rows.append({
+                "design": f"{core}-{subset_label(subset)}",
+                "core": core,
+                "subset": subset,
+                "speedup": speedup,
+                "energy_eff": eff,
+                "area": area / ref_area,
+            })
+    rows.sort(key=lambda r: r["speedup"])
+    return rows
+
+
+def fig13_table(sweep, core="OOO2"):
+    """Figure 13: per-benchmark execution-time and energy breakdown of
+    the full ExoCore, normalized to the core alone."""
+    units = ("gpp", "simd", "dp_cgra", "ns_df", "trace_p")
+    rows = []
+    for record in sweep.benchmarks():
+        base_cycles, base_energy, _ = record.baseline[core]
+        summary = record.summary(core, FULL_SUBSET)
+        row = {"benchmark": record.name, "suite": record.suite}
+        for unit in units:
+            row[f"time_{unit}"] = summary["cycles_by"].get(unit, 0) \
+                / max(1, base_cycles)
+            row[f"energy_{unit}"] = summary["energy_by"].get(unit, 0.0) \
+                / max(1.0, base_energy)
+        row["rel_time"] = summary["cycles"] / max(1, base_cycles)
+        row["rel_energy"] = summary["energy_pj"] / max(1.0, base_energy)
+        rows.append(row)
+    return rows
+
+
+def fig15_table(sweep, core="OOO2", suite="mediabench"):
+    """Figure 15: Oracle vs Amdahl-tree scheduler, relative exec time
+    and energy vs the core alone."""
+    rows = []
+    for record in sweep.benchmarks():
+        if suite is not None and record.suite != suite:
+            continue
+        if core not in record.amdahl:
+            continue
+        base_cycles, base_energy, _ = record.baseline[core]
+        oracle = record.summary(core, FULL_SUBSET)
+        amdahl = record.amdahl[core]
+        rows.append({
+            "benchmark": record.name,
+            "oracle_time": oracle["cycles"] / max(1, base_cycles),
+            "oracle_energy": oracle["energy_pj"] / max(1.0, base_energy),
+            "amdahl_time": amdahl["cycles"] / max(1, base_cycles),
+            "amdahl_energy": amdahl["energy_pj"] / max(1.0, base_energy),
+        })
+    return rows
+
+
+def render_table(rows, columns=None, float_format="{:.3f}"):
+    """Plain-text table rendering for the benchmark harness output."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "  ".join(f"{c:>14s}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                value = float_format.format(value)
+            cells.append(f"{str(value):>14s}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Design-space sweep: benchmarks x cores x BSA subsets.
+
+Each benchmark is simulated once; every (core, subset) ExoCore point is
+then composed from per-region estimates by the Oracle scheduler — the
+workflow the TDG exists to make tractable (64 design points, paper
+Fig. 12).
+"""
+
+import itertools
+
+from repro.accel import BSA_LETTER
+from repro.core_model.config import DSE_CORES
+from repro.exocore import (
+    evaluate_benchmark, oracle_schedule, amdahl_schedule,
+)
+from repro.workloads import WORKLOADS
+
+#: All four BSAs in canonical order.
+ALL_BSAS = ("simd", "dp_cgra", "ns_df", "trace_p")
+
+#: The 16 BSA subsets of the design space.
+ALL_SUBSETS = tuple(
+    subset
+    for size in range(len(ALL_BSAS) + 1)
+    for subset in itertools.combinations(ALL_BSAS, size)
+)
+
+
+def subset_label(subset):
+    """Paper Fig. 12 letters: S, D, N, T (empty subset -> '-')."""
+    return "".join(BSA_LETTER[b] for b in subset) or "-"
+
+
+class BenchmarkResult:
+    """Compact per-benchmark sweep record (evaluation discarded)."""
+
+    def __init__(self, name, suite, category):
+        self.name = name
+        self.suite = suite
+        self.category = category
+        self.baseline = {}       # core -> (cycles, energy_pj, insts)
+        self.oracle = {}         # (core, subset) -> schedule summary
+        self.amdahl = {}         # core -> schedule summary (full subset)
+
+    def summary(self, core, subset):
+        return self.oracle[(core, subset)]
+
+    def speedup(self, core, subset, ref_core=None, ref_cycles=None):
+        if ref_cycles is None:
+            ref_cycles = self.baseline[ref_core or core][0]
+        return ref_cycles / max(1, self.oracle[(core, subset)]["cycles"])
+
+    def energy_ratio(self, core, subset, ref_core=None):
+        ref_energy = self.baseline[ref_core or core][1]
+        return self.oracle[(core, subset)]["energy_pj"] \
+            / max(1.0, ref_energy)
+
+
+def _summarize(schedule):
+    return {
+        "cycles": schedule.cycles,
+        "energy_pj": schedule.energy_pj,
+        "cycles_by": dict(schedule.cycles_by),
+        "energy_by": dict(schedule.energy_by),
+        "assignment": {key: unit
+                       for key, unit in schedule.assignment.items()
+                       if unit != "gpp"},
+        "offloaded_fraction": schedule.offloaded_fraction,
+    }
+
+
+class SweepResult:
+    """All benchmark records plus sweep-level metadata."""
+
+    def __init__(self, core_names, subsets):
+        self.core_names = tuple(core_names)
+        self.subsets = tuple(subsets)
+        self.results = {}    # benchmark name -> BenchmarkResult
+
+    def add(self, record):
+        self.results[record.name] = record
+
+    def benchmarks(self, category=None):
+        records = sorted(self.results.values(), key=lambda r: r.name)
+        if category is not None:
+            records = [r for r in records if r.category == category]
+        return records
+
+    def __len__(self):
+        return len(self.results)
+
+
+def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
+              scale=1.0, max_invocations=8, with_amdahl=True,
+              progress=None):
+    """Run the design-space exploration.
+
+    Parameters
+    ----------
+    names:
+        Benchmark names (default: all registered workloads).
+    scale:
+        Workload size scale (tests use < 1 for speed).
+    with_amdahl:
+        Also run the Amdahl-tree scheduler for the full BSA set
+        (needed by the Fig. 15 comparison).
+    progress:
+        Optional callback(name) per benchmark.
+    """
+    names = list(names) if names is not None else sorted(WORKLOADS)
+    sweep = SweepResult(core_names, subsets)
+    for name in names:
+        workload = WORKLOADS[name]
+        if progress is not None:
+            progress(name)
+        tdg = workload.construct_tdg(scale=scale)
+        evaluation = evaluate_benchmark(
+            tdg, core_names=core_names, bsa_names=ALL_BSAS,
+            max_invocations=max_invocations, name=name)
+        record = BenchmarkResult(name, workload.suite, workload.category)
+        for core in core_names:
+            base = evaluation.baseline(core)
+            record.baseline[core] = (base.cycles, base.energy_pj,
+                                     len(tdg.trace))
+        for core in core_names:
+            for subset in subsets:
+                schedule = oracle_schedule(evaluation, core, subset)
+                record.oracle[(core, subset)] = _summarize(schedule)
+            if with_amdahl:
+                schedule = amdahl_schedule(evaluation, core, ALL_BSAS)
+                record.amdahl[core] = _summarize(schedule)
+        sweep.add(record)
+    return sweep

@@ -1,0 +1,25 @@
+"""Energy, power and area estimation (the McPAT + CACTI stand-in).
+
+Prism fed TDG event counts to McPAT for the general core and used
+McPAT/CACTI plus published numbers for accelerators (paper section
+2.4).  We reproduce that structure: :mod:`repro.energy.cacti` is a
+small analytical SRAM model; :mod:`repro.energy.mcpat` turns per-
+instruction event counts into energy with config-scaled coefficients;
+:mod:`repro.energy.area` tables the areas used in Figure 12.
+"""
+
+from repro.energy.cacti import SRAMModel
+from repro.energy.mcpat import EnergyModel, EnergyBreakdown
+from repro.energy.area import core_area, accelerator_area, exocore_area
+from repro.energy.dvfs import OperatingPoint, scale_run
+
+__all__ = [
+    "SRAMModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "core_area",
+    "accelerator_area",
+    "exocore_area",
+    "OperatingPoint",
+    "scale_run",
+]

@@ -1,0 +1,78 @@
+"""Analytical SRAM energy/area model (the CACTI stand-in).
+
+CACTI derives access energy and area from capacity, associativity and
+port count.  We use well-known first-order scaling laws at a nominal
+22nm point: access energy grows roughly with the square root of
+capacity (bitline/wordline length), area linearly with capacity plus a
+per-way and per-port overhead.  The constants are calibrated so the
+derived numbers land in the range of published 22nm figures (L1 access
+a few pJ-tens of pJ, 2MB L2 ~100 pJ).
+"""
+
+import math
+
+#: pJ per access for a 1KiB, 1-port, direct-mapped array.
+_BASE_ACCESS_PJ = 2.4
+
+#: mm^2 per KiB of SRAM at 22nm (array efficiency folded in).
+_MM2_PER_KIB = 0.003
+
+#: Leakage, pJ per cycle per KiB.
+_LEAK_PJ_PER_CYCLE_PER_KIB = 0.004
+
+
+class SRAMModel:
+    """Energy/area estimates for one SRAM structure.
+
+    Parameters
+    ----------
+    size_kib:
+        Capacity in KiB.
+    ways:
+        Associativity (tag comparators add energy/area).
+    ports:
+        Read/write port count (wire load grows with ports).
+    """
+
+    def __init__(self, size_kib, ways=1, ports=1, name="sram"):
+        if size_kib <= 0:
+            raise ValueError("size_kib must be positive")
+        if ways < 1 or ports < 1:
+            raise ValueError("ways and ports must be >= 1")
+        self.size_kib = size_kib
+        self.ways = ways
+        self.ports = ports
+        self.name = name
+
+    @property
+    def access_energy_pj(self):
+        """Dynamic energy of one access."""
+        capacity_term = math.sqrt(self.size_kib)
+        way_term = 1.0 + 0.12 * (self.ways - 1)
+        port_term = 1.0 + 0.35 * (self.ports - 1)
+        return _BASE_ACCESS_PJ * capacity_term * way_term * port_term
+
+    @property
+    def area_mm2(self):
+        way_term = 1.0 + 0.05 * (self.ways - 1)
+        port_term = 1.0 + 0.45 * (self.ports - 1)
+        return _MM2_PER_KIB * self.size_kib * way_term * port_term
+
+    @property
+    def leakage_pj_per_cycle(self):
+        return _LEAK_PJ_PER_CYCLE_PER_KIB * self.size_kib
+
+    def __repr__(self):
+        return (f"<SRAM {self.name}: {self.size_kib}KiB "
+                f"{self.ways}-way {self.ports}p, "
+                f"{self.access_energy_pj:.1f}pJ/access, "
+                f"{self.area_mm2:.3f}mm2>")
+
+
+#: The shared hierarchy of paper section 4 (32KiB L1I, 64KiB L1D, 2MB L2).
+L1I_SRAM = SRAMModel(32, ways=2, ports=1, name="l1i")
+L1D_SRAM = SRAMModel(64, ways=4, ports=2, name="l1d")
+L2_SRAM = SRAMModel(2048, ways=8, ports=1, name="l2")
+
+#: DRAM access energy (pJ) — an order of magnitude above L2.
+DRAM_ACCESS_PJ = 2000.0

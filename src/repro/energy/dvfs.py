@@ -1,0 +1,115 @@
+"""Voltage-frequency scaling on top of the energy model.
+
+Paper section 5.5 lists "modifying their frequencies" as unexplored
+design space.  This module provides first-order DVFS physics so cores
+and accelerators can be evaluated at non-nominal operating points:
+
+- dynamic energy scales with V^2 (and V scales roughly linearly with
+  frequency inside the operating window);
+- leakage power scales with V;
+- execution *time* scales inversely with frequency, so leakage energy
+  per task grows as frequency drops.
+
+Everything is relative to the nominal point (2 GHz / 0.8 V at 22nm).
+"""
+
+NOMINAL_GHZ = 2.0
+NOMINAL_VDD = 0.8
+
+#: Operating window: the model clamps requests outside it.
+MIN_GHZ = 0.5
+MAX_GHZ = 3.2
+
+#: dV/df slope within the window (V per GHz), first-order.
+VOLT_PER_GHZ = 0.15
+
+
+class OperatingPoint:
+    """One (frequency, voltage) pair with derived scale factors."""
+
+    def __init__(self, freq_ghz, vdd=None):
+        self.freq_ghz = min(MAX_GHZ, max(MIN_GHZ, freq_ghz))
+        if vdd is None:
+            vdd = NOMINAL_VDD + VOLT_PER_GHZ * (self.freq_ghz
+                                                - NOMINAL_GHZ)
+        self.vdd = max(0.5, vdd)
+
+    @property
+    def dynamic_energy_scale(self):
+        """Per-event energy vs nominal: E ~ C V^2."""
+        return (self.vdd / NOMINAL_VDD) ** 2
+
+    @property
+    def leakage_power_scale(self):
+        """Leakage power vs nominal: P_leak ~ V."""
+        return self.vdd / NOMINAL_VDD
+
+    @property
+    def leakage_energy_per_cycle_scale(self):
+        """Leakage energy charged per *cycle*: power / frequency."""
+        return self.leakage_power_scale \
+            * (NOMINAL_GHZ / self.freq_ghz)
+
+    @property
+    def time_scale(self):
+        """Wall-clock per cycle vs nominal."""
+        return NOMINAL_GHZ / self.freq_ghz
+
+    def __repr__(self):
+        return (f"<OperatingPoint {self.freq_ghz:.2f}GHz "
+                f"@{self.vdd:.2f}V>")
+
+
+def scale_run(cycles, breakdown, point):
+    """Re-cost one engine+energy evaluation at *point*.
+
+    Parameters
+    ----------
+    cycles:
+        Cycle count from the timing engine (frequency-independent in
+        this first-order model: memory latencies are in core cycles).
+    breakdown:
+        An :class:`~repro.energy.mcpat.EnergyBreakdown` computed at the
+        nominal point.
+    point:
+        The target :class:`OperatingPoint`.
+
+    Returns (wall_time_ns, energy_pj, avg_power_w).
+    """
+    dynamic = sum(pj for component, pj in breakdown.components.items()
+                  if not component.startswith("leak"))
+    leakage = sum(pj for component, pj in breakdown.components.items()
+                  if component.startswith("leak"))
+    energy = (dynamic * point.dynamic_energy_scale
+              + leakage * point.leakage_energy_per_cycle_scale)
+    wall_ns = cycles / point.freq_ghz
+    power_w = energy * 1e-12 / (wall_ns * 1e-9) if wall_ns else 0.0
+    return wall_ns, energy, power_w
+
+
+def energy_optimal_frequency(cycles, breakdown,
+                             candidates=(0.5, 0.8, 1.0, 1.25, 1.6,
+                                         2.0, 2.5, 3.2)):
+    """Frequency minimizing total energy for this run.
+
+    Low frequency cuts dynamic V^2 energy but stretches leakage time;
+    the optimum sits in between — the classic DVFS result.
+    """
+    best = None
+    for freq in candidates:
+        point = OperatingPoint(freq)
+        _wall, energy, _power = scale_run(cycles, breakdown, point)
+        if best is None or energy < best[1]:
+            best = (point, energy)
+    return best[0]
+
+
+def race_to_idle_comparison(cycles, breakdown, low_ghz=1.0):
+    """Compare 'race-to-idle' (nominal f, then sleep) against running
+    slow; returns dict of both (time, energy) pairs."""
+    fast = scale_run(cycles, breakdown, OperatingPoint(NOMINAL_GHZ))
+    slow = scale_run(cycles, breakdown, OperatingPoint(low_ghz))
+    return {
+        "race_to_idle": {"wall_ns": fast[0], "energy_pj": fast[1]},
+        "run_slow": {"wall_ns": slow[0], "energy_pj": slow[1]},
+    }

@@ -1,0 +1,26 @@
+"""ExoCore: multi-BSA core organization and scheduling (paper sec. 3).
+
+- :mod:`repro.exocore.evaluator` — evaluates one benchmark: baseline
+  core runs plus per-region accelerated estimates for every BSA.
+- :mod:`repro.exocore.schedule` — the Oracle scheduler (energy-delay
+  with the 10%-slowdown rule) and the Amdahl-tree scheduler (Fig. 9),
+  composing per-region choices into whole-program cycles/energy.
+- :mod:`repro.exocore.timeline` — dynamic switching traces (Fig. 14).
+"""
+
+from repro.exocore.evaluator import (
+    BenchmarkEvaluation, evaluate_benchmark,
+)
+from repro.exocore.schedule import (
+    ScheduleResult, oracle_schedule, amdahl_schedule,
+)
+from repro.exocore.timeline import switching_timeline
+
+__all__ = [
+    "BenchmarkEvaluation",
+    "evaluate_benchmark",
+    "ScheduleResult",
+    "oracle_schedule",
+    "amdahl_schedule",
+    "switching_timeline",
+]

@@ -1,0 +1,118 @@
+"""Per-benchmark evaluation: baselines + accelerated region estimates.
+
+This is the expensive step the TDG makes tractable: the trace is
+simulated once, then every (core, BSA, region) combination is costed by
+transforming and re-timing only the affected trace slices.
+"""
+
+from repro.accel import BSA_REGISTRY, AnalysisContext
+from repro.analysis.regions import attribute_baseline
+from repro.core_model import core_by_name
+from repro.tdg.engine import TimingEngine
+
+
+class CoreBaseline:
+    """Full-trace baseline numbers for one core config."""
+
+    def __init__(self, core_name, cycles, energy_pj, per_loop_cycles,
+                 per_loop_energy):
+        self.core_name = core_name
+        self.cycles = cycles
+        self.energy_pj = energy_pj
+        self.per_loop_cycles = per_loop_cycles   # loop key -> cycles
+        self.per_loop_energy = per_loop_energy   # loop key -> pJ
+
+    def __repr__(self):
+        return (f"<CoreBaseline {self.core_name}: {self.cycles} cyc, "
+                f"{self.energy_pj/1000:.0f} nJ>")
+
+
+class BenchmarkEvaluation:
+    """All the numbers the schedulers need for one benchmark."""
+
+    def __init__(self, name, ctx):
+        self.name = name
+        self.ctx = ctx
+        self.baselines = {}     # core name -> CoreBaseline
+        self.estimates = {}     # (bsa, core name) -> {loop key: RegionEstimate}
+        self.plans = {}         # bsa -> {loop key: plan}
+
+    @property
+    def forest(self):
+        return self.ctx.forest
+
+    def baseline(self, core_name):
+        return self.baselines[core_name]
+
+    def estimate_for(self, bsa, core_name, loop_key):
+        return self.estimates.get((bsa, core_name), {}).get(loop_key)
+
+    def bsas_targeting(self, loop_key):
+        return sorted(
+            bsa for bsa, plans in self.plans.items() if loop_key in plans
+        )
+
+    def __repr__(self):
+        return (f"<BenchmarkEvaluation {self.name}: "
+                f"{len(self.baselines)} cores, "
+                f"{len(self.estimates)} (bsa,core) sets>")
+
+
+def evaluate_benchmark(tdg, core_names=("IO2", "OOO2", "OOO4", "OOO6"),
+                       bsa_names=("simd", "dp_cgra", "ns_df", "trace_p"),
+                       max_invocations=8, detailed=False, name=None):
+    """Evaluate one TDG across cores and BSAs.
+
+    *max_invocations* caps how many dynamic invocations of each region
+    are transformed per (BSA, core); the rest extrapolate (the paper's
+    windowed approach bounds work the same way).
+    """
+    ctx = AnalysisContext(tdg)
+    evaluation = BenchmarkEvaluation(name or tdg.program.name, ctx)
+    trace = tdg.trace.instructions
+
+    # ---- baselines ------------------------------------------------------
+    for core_name in core_names:
+        config = core_by_name(core_name)
+        engine = TimingEngine(config, collect_commit_times=True)
+        result = engine.run(trace)
+        commit_times = result.commit_times
+        per_loop_cycles = attribute_baseline(
+            commit_times, ctx.intervals, result.cycles)
+        energy_model = ctx.energy_model(config)
+        total_energy = energy_model.evaluate(trace, result.cycles)
+        per_loop_energy = {}
+        for key, spans in ctx.intervals.items():
+            if not spans:
+                per_loop_energy[key] = 0.0
+                continue
+            stream = _concat(trace, spans)
+            breakdown = energy_model.evaluate(
+                stream, per_loop_cycles.get(key, 0))
+            per_loop_energy[key] = breakdown.total_pj
+        evaluation.baselines[core_name] = CoreBaseline(
+            core_name, result.cycles, total_energy.total_pj,
+            per_loop_cycles, per_loop_energy)
+
+    # ---- accelerated estimates ------------------------------------------
+    for bsa in bsa_names:
+        model = BSA_REGISTRY[bsa](detailed=detailed)
+        plans = model.find_candidates(ctx)
+        evaluation.plans[bsa] = plans
+        for core_name in core_names:
+            config = core_by_name(core_name)
+            estimates = {}
+            for key, plan in plans.items():
+                estimate = model.evaluate_region(
+                    ctx, plan, config, max_invocations=max_invocations)
+                if estimate is not None:
+                    estimates[key] = estimate
+            evaluation.estimates[(bsa, core_name)] = estimates
+    return evaluation
+
+
+def _concat(trace, spans):
+    stream = []
+    for start, end in spans:
+        stream.extend(trace[start:end])
+    return stream

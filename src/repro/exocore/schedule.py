@@ -1,0 +1,220 @@
+"""BSA selection: Oracle and Amdahl-tree schedulers (paper 3.3 / 4).
+
+The Oracle scheduler "chooses the best accelerator for each static
+region, based on past execution characteristics", using energy-delay
+with the rule that no region may lose more than 10% performance.
+
+The Amdahl-tree scheduler (paper Fig. 9) works from *approximate*
+static/profile speedup estimates: a bottom-up traversal applies
+Amdahl's law at each loop node and picks the best architecture per
+region — then the chosen assignment is costed with the measured
+numbers.  As in the paper, it is deliberately calibrated slightly
+toward BSA use (energy-biased).
+"""
+
+#: Oracle constraint: max tolerated per-region slowdown (paper: 10%).
+MAX_SLOWDOWN = 0.10
+
+#: Amdahl-tree bias: a BSA wins if its estimated speedup is within
+#: this factor of the best core-side composition (over-calibration
+#: toward BSAs, paper section 5.4).
+AMDAHL_BSA_BIAS = 1.0
+
+
+class ScheduleResult:
+    """A whole-program schedule and its composed cost."""
+
+    def __init__(self, core_name, bsa_subset):
+        self.core_name = core_name
+        self.bsa_subset = tuple(bsa_subset)
+        self.cycles = 0
+        self.energy_pj = 0.0
+        self.assignment = {}    # loop key -> bsa name or "gpp"
+        self.cycles_by = {}     # "gpp"/bsa -> cycles
+        self.energy_by = {}     # "gpp"/bsa -> pJ
+
+    def _add(self, tag, cycles, energy):
+        self.cycles_by[tag] = self.cycles_by.get(tag, 0) + cycles
+        self.energy_by[tag] = self.energy_by.get(tag, 0.0) + energy
+
+    @property
+    def offloaded_fraction(self):
+        """Fraction of cycles spent on any BSA (1 - paper's
+        "un-accelerated" share, relative to this schedule)."""
+        if not self.cycles:
+            return 0.0
+        gpp = self.cycles_by.get("gpp", 0)
+        return max(0.0, 1.0 - gpp / self.cycles)
+
+    def __repr__(self):
+        return (f"<ScheduleResult {self.core_name}+"
+                f"{'/'.join(self.bsa_subset) or 'none'}: "
+                f"{self.cycles} cyc, {self.energy_pj/1000:.0f} nJ>")
+
+
+def _node_options(evaluation, core_name, bsa_subset, loop):
+    """Accelerated options (bsa, estimate) available at a loop node."""
+    options = []
+    for bsa in bsa_subset:
+        estimate = evaluation.estimate_for(bsa, core_name, loop.key)
+        if estimate is not None:
+            options.append((bsa, estimate))
+    return options
+
+
+def oracle_schedule(evaluation, core_name, bsa_subset,
+                    max_slowdown=MAX_SLOWDOWN):
+    """Energy-delay-optimal per-region selection (the paper's Oracle)."""
+    baseline = evaluation.baseline(core_name)
+    result = ScheduleResult(core_name, bsa_subset)
+
+    def solve(loop):
+        """Returns (cycles, energy, attribution list, assignments)."""
+        base_cycles = baseline.per_loop_cycles.get(loop.key, 0)
+        base_energy = baseline.per_loop_energy.get(loop.key, 0.0)
+        # Option A: keep this level on the core, recurse into children.
+        child_cycles = 0
+        child_energy = 0.0
+        child_attr = []
+        child_assign = {}
+        for child in loop.children:
+            c_cyc, c_en, c_attr, c_asn = solve(child)
+            child_cycles += c_cyc
+            child_energy += c_en
+            child_attr.extend(c_attr)
+            child_assign.update(c_asn)
+        children_base_cycles = sum(
+            baseline.per_loop_cycles.get(c.key, 0)
+            for c in loop.children)
+        children_base_energy = sum(
+            baseline.per_loop_energy.get(c.key, 0.0)
+            for c in loop.children)
+        own_cycles = max(0, base_cycles - children_base_cycles)
+        own_energy = max(0.0, base_energy - children_base_energy)
+        core_cycles = own_cycles + child_cycles
+        core_energy = own_energy + child_energy
+        core_assign = dict(child_assign)
+        core_assign[loop.key] = "gpp"
+        best = (
+            core_cycles, core_energy,
+            [("gpp", own_cycles, own_energy)] + child_attr,
+            core_assign,
+        )
+        best_edp = _edp(core_cycles, core_energy)
+        # Option B: hand the whole subtree to one BSA.
+        limit = base_cycles * (1.0 + max_slowdown)
+        for bsa, estimate in _node_options(evaluation, core_name,
+                                           bsa_subset, loop):
+            if estimate.cycles > limit:
+                continue
+            edp = _edp(estimate.cycles, estimate.energy_pj)
+            if edp < best_edp:
+                best_edp = edp
+                best = (
+                    estimate.cycles, estimate.energy_pj,
+                    [(bsa, estimate.cycles, estimate.energy_pj)],
+                    {loop.key: bsa},
+                )
+        return best
+
+    _compose_program(evaluation, core_name, result, solve)
+    return result
+
+
+def amdahl_schedule(evaluation, core_name, bsa_subset,
+                    bsa_bias=AMDAHL_BSA_BIAS):
+    """Amdahl-tree selection from approximate speedup estimates
+    (paper Fig. 9), costed afterwards with the measured numbers."""
+    from repro.accel import BSA_REGISTRY
+    from repro.core_model import core_by_name
+
+    baseline = evaluation.baseline(core_name)
+    config = core_by_name(core_name)
+    ctx = evaluation.ctx
+    result = ScheduleResult(core_name, bsa_subset)
+
+    def estimated_speedup(bsa, loop):
+        plan = evaluation.plans.get(bsa, {}).get(loop.key)
+        if plan is None:
+            return None
+        model = BSA_REGISTRY[bsa]()
+        return model.estimate_speedup(ctx, plan, config)
+
+    def solve(loop):
+        base_cycles = baseline.per_loop_cycles.get(loop.key, 0)
+        base_energy = baseline.per_loop_energy.get(loop.key, 0.0)
+        # Children composition (Amdahl's law at this node).
+        child_results = [solve(child) for child in loop.children]
+        children_base = sum(
+            baseline.per_loop_cycles.get(c.key, 0)
+            for c in loop.children)
+        children_base_energy = sum(
+            baseline.per_loop_energy.get(c.key, 0.0)
+            for c in loop.children)
+        own_cycles = max(0, base_cycles - children_base)
+        own_energy = max(0.0, base_energy - children_base_energy)
+        core_cycles = own_cycles + sum(r[0] for r in child_results)
+        core_energy = own_energy + sum(r[1] for r in child_results)
+        core_speedup = base_cycles / core_cycles if core_cycles else 1.0
+        # Best whole-node BSA by *estimated* speedup.
+        best_bsa = None
+        best_est = 0.0
+        for bsa in bsa_subset:
+            est = estimated_speedup(bsa, loop)
+            if est is not None and est > best_est:
+                best_est = est
+                best_bsa = bsa
+        take_bsa = (
+            best_bsa is not None
+            and best_est >= 1.0
+            and best_est >= core_speedup * bsa_bias
+            and evaluation.estimate_for(best_bsa, core_name,
+                                        loop.key) is not None
+        )
+        if take_bsa:
+            estimate = evaluation.estimate_for(best_bsa, core_name,
+                                               loop.key)
+            return (
+                estimate.cycles, estimate.energy_pj,
+                [(best_bsa, estimate.cycles, estimate.energy_pj)],
+                {loop.key: best_bsa},
+            )
+        attr = [("gpp", own_cycles, own_energy)]
+        assign = {loop.key: "gpp"}
+        for child_result in child_results:
+            attr.extend(child_result[2])
+            assign.update(child_result[3])
+        return (core_cycles, core_energy, attr, assign)
+
+    _compose_program(evaluation, core_name, result, solve)
+    return result
+
+
+def _edp(cycles, energy):
+    return max(cycles, 1) * max(energy, 1.0)
+
+
+def _compose_program(evaluation, core_name, result, solve):
+    """Run *solve* over the forest roots and fill in the totals."""
+    baseline = evaluation.baseline(core_name)
+    forest = evaluation.forest
+    roots = forest.roots
+    total_cycles = baseline.cycles
+    total_energy = baseline.energy_pj
+    roots_base_cycles = sum(
+        baseline.per_loop_cycles.get(r.key, 0) for r in roots)
+    roots_base_energy = sum(
+        baseline.per_loop_energy.get(r.key, 0.0) for r in roots)
+    outside_cycles = max(0, total_cycles - roots_base_cycles)
+    outside_energy = max(0.0, total_energy - roots_base_energy)
+    result.cycles = outside_cycles
+    result.energy_pj = outside_energy
+    result._add("gpp", outside_cycles, outside_energy)
+    for root in roots:
+        cycles, energy, attribution, assignment = solve(root)
+        result.cycles += cycles
+        result.energy_pj += energy
+        result.assignment.update(assignment)
+        for tag, c, e in attribution:
+            result._add(tag, c, e)
+    return result

@@ -1,0 +1,83 @@
+"""Dynamic switching timelines (paper Figure 14).
+
+Produces, for one benchmark under one schedule, a time series of
+(baseline-cycle position, ExoCore speedup, active unit): each dynamic
+invocation of each scheduled region contributes one segment, showing
+how the application switches between the general core and its BSAs
+over time.
+"""
+
+
+class TimelineSegment:
+    """One dynamic region invocation on the timeline."""
+
+    __slots__ = ("start_cycle", "end_cycle", "unit", "speedup",
+                 "loop_key")
+
+    def __init__(self, start_cycle, end_cycle, unit, speedup, loop_key):
+        self.start_cycle = start_cycle
+        self.end_cycle = end_cycle
+        self.unit = unit          # "gpp" or a BSA name
+        self.speedup = speedup    # baseline / accelerated, this region
+        self.loop_key = loop_key
+
+    def __repr__(self):
+        return (f"<Segment {self.unit} [{self.start_cycle}, "
+                f"{self.end_cycle}) x{self.speedup:.2f}>")
+
+
+def switching_timeline(evaluation, schedule, core_name=None):
+    """Build the Fig. 14-style series for *schedule*.
+
+    Returns a list of :class:`TimelineSegment`, ordered by baseline
+    execution time.  Speedups are per-region aggregates (the paper's
+    trace is similarly region-granular: switching happens at loop
+    entries).
+    """
+    core_name = core_name or schedule.core_name
+    baseline = evaluation.baseline(core_name)
+    ctx = evaluation.ctx
+    trace = ctx.tdg.trace.instructions
+
+    # Choose, per trace index interval, the innermost *scheduled* loop.
+    chosen = {}
+    for key, unit in schedule.assignment.items():
+        if unit == "gpp":
+            continue
+        estimate = evaluation.estimate_for(unit, core_name, key)
+        base_cycles = baseline.per_loop_cycles.get(key, 0)
+        if estimate is None or not estimate.cycles:
+            continue
+        speedup = base_cycles / estimate.cycles if base_cycles else 1.0
+        for start, end in ctx.intervals.get(key, ()):
+            chosen[(start, end)] = (unit, speedup, key)
+
+    # Need commit times to place segments on the baseline time axis.
+    from repro.core_model import core_by_name
+    from repro.tdg.engine import TimingEngine
+    engine = TimingEngine(core_by_name(core_name),
+                          collect_commit_times=True)
+    commit_times = engine.run(trace).commit_times
+
+    segments = []
+    covered_until = 0
+    for (start, end), (unit, speedup, key) in sorted(chosen.items()):
+        if start < covered_until:
+            continue   # nested within an already-offloaded region
+        t_start = commit_times[start - 1] if start > 0 else 0
+        t_end = commit_times[end - 1] if end > 0 else 0
+        if t_end <= t_start:
+            continue
+        if t_start > (segments[-1].end_cycle if segments else 0):
+            prev_end = segments[-1].end_cycle if segments else 0
+            segments.append(TimelineSegment(
+                prev_end, t_start, "gpp", 1.0, None))
+        segments.append(TimelineSegment(t_start, t_end, unit, speedup,
+                                        key))
+        covered_until = end
+    total = commit_times[-1] if commit_times else 0
+    tail_start = segments[-1].end_cycle if segments else 0
+    if total > tail_start:
+        segments.append(TimelineSegment(tail_start, total, "gpp", 1.0,
+                                        None))
+    return segments

@@ -1,0 +1,62 @@
+"""Mini RISC instruction set used by the trace generator.
+
+The paper's Prism framework consumed gem5 traces of real ISAs.  We
+substitute a small load/store RISC ISA that is rich enough to express the
+paper's behavior classes (data-parallel loops, separable access/execute
+code, biased control, irregular pointer chasing) while staying easy to
+interpret and analyze.
+
+Public API:
+
+- :class:`~repro.isa.opcodes.Opcode` and its classification helpers
+- :class:`~repro.isa.instruction.Instruction`
+- :data:`~repro.isa.registers.NUM_REGS` and register helpers
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    OpClass,
+    FU_LATENCY,
+    op_class,
+    is_branch,
+    is_memory,
+    is_load,
+    is_store,
+    is_compute,
+    is_fp,
+    is_vector,
+    vector_opcode_for,
+    scalar_opcode_for,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ZERO,
+    REG_SP,
+    REG_RA,
+    reg_name,
+    parse_reg,
+)
+from repro.isa.instruction import Instruction
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "FU_LATENCY",
+    "op_class",
+    "is_branch",
+    "is_memory",
+    "is_load",
+    "is_store",
+    "is_compute",
+    "is_fp",
+    "is_vector",
+    "vector_opcode_for",
+    "scalar_opcode_for",
+    "NUM_REGS",
+    "REG_ZERO",
+    "REG_SP",
+    "REG_RA",
+    "reg_name",
+    "parse_reg",
+    "Instruction",
+]

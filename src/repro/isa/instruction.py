@@ -1,0 +1,120 @@
+"""Static instruction representation.
+
+An :class:`Instruction` is one static operation inside a basic block.
+Memory operations use base+offset addressing (``ld rd, [ra + imm]``).
+Conditional branches test a register against zero and name their taken
+target by label; the fall-through successor is the next block in layout
+order.
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    is_branch,
+    is_load,
+    is_memory,
+    is_store,
+    op_class,
+    fu_latency,
+)
+from repro.isa.registers import NUM_REGS, reg_name
+
+
+class Instruction:
+    """One static instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The :class:`~repro.isa.opcodes.Opcode`.
+    dest:
+        Destination register index, or None for stores/branches/etc.
+    srcs:
+        Tuple of source register indices.
+    imm:
+        Immediate operand (address offset for memory ops, literal for
+        ``li``/shifts, branch target label for control ops).
+    target:
+        Label of the taken successor for ``br``/``jmp``/``call``.
+    """
+
+    __slots__ = ("opcode", "dest", "srcs", "imm", "target",
+                 "uid", "block", "index")
+
+    def __init__(self, opcode, dest=None, srcs=(), imm=None, target=None):
+        if not isinstance(opcode, Opcode):
+            raise TypeError(f"opcode must be an Opcode, got {opcode!r}")
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.target = target
+        # Filled in when the instruction is attached to a program.
+        self.uid = None        # program-unique static id
+        self.block = None      # owning BasicBlock
+        self.index = None      # position within the block
+        self._validate()
+
+    def _validate(self):
+        for reg in self.srcs:
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"bad source register {reg}")
+        if self.dest is not None and not 0 <= self.dest < NUM_REGS:
+            raise ValueError(f"bad destination register {self.dest}")
+        if is_branch(self.opcode) and self.target is None:
+            raise ValueError("br requires a target label")
+        if self.opcode in (Opcode.JMP, Opcode.CALL) and self.target is None:
+            raise ValueError(f"{self.opcode.value} requires a target label")
+        if is_memory(self.opcode):
+            if not self.srcs:
+                raise ValueError("memory op needs a base-address register")
+            if is_load(self.opcode) and self.dest is None:
+                raise ValueError("load needs a destination register")
+
+    # -- classification passthroughs ------------------------------------
+    @property
+    def op_class(self):
+        return op_class(self.opcode)
+
+    @property
+    def latency(self):
+        return fu_latency(self.opcode)
+
+    @property
+    def is_branch(self):
+        return is_branch(self.opcode)
+
+    @property
+    def is_load(self):
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self):
+        return is_store(self.opcode)
+
+    @property
+    def is_memory(self):
+        return is_memory(self.opcode)
+
+    # -- formatting ------------------------------------------------------
+    def __repr__(self):
+        return f"<Instruction {self}>"
+
+    def __str__(self):
+        parts = [self.opcode.value]
+        operands = []
+        if self.dest is not None:
+            operands.append(reg_name(self.dest))
+        if self.is_memory:
+            base = reg_name(self.srcs[0])
+            offset = self.imm or 0
+            operands.append(f"[{base}+{offset}]")
+            operands.extend(reg_name(s) for s in self.srcs[1:])
+        else:
+            operands.extend(reg_name(s) for s in self.srcs)
+            if self.imm is not None:
+                operands.append(str(self.imm))
+        if self.target is not None:
+            operands.append(self.target)
+        if operands:
+            parts.append(" " + ", ".join(operands))
+        return "".join(parts)

@@ -1,0 +1,37 @@
+"""Register-file conventions for the mini ISA.
+
+A single flat namespace of 64 general registers holds both integer and
+floating-point values (the interpreter is dynamically typed; the opcode
+determines the operation semantics).  A handful of registers have fixed
+roles mirroring common RISC ABIs.
+"""
+
+#: Number of architectural registers.
+NUM_REGS = 64
+
+#: r0 always reads as integer zero; writes are ignored.
+REG_ZERO = 0
+
+#: Stack pointer (used by call/ret in workloads with functions).
+REG_SP = 1
+
+#: Return-address register written by ``call``.
+REG_RA = 2
+
+
+def reg_name(index):
+    """Human-readable name, e.g. ``r7``."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_reg(text):
+    """Parse ``rN`` back into an index.  Raises ValueError on bad input."""
+    text = text.strip()
+    if not text.startswith("r"):
+        raise ValueError(f"not a register: {text!r}")
+    index = int(text[1:])
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {text!r}")
+    return index

@@ -1,0 +1,19 @@
+"""Program IR: basic blocks, functions, CFG utilities, builders.
+
+This is the static-program side of the TDG: the paper reconstructs a
+Program IR (CFG + DFG + loop nesting) from the binary; we carry the IR
+natively and expose the same queries the TDG analyzer needs.
+"""
+
+from repro.programs.ir import BasicBlock, Function, Program
+from repro.programs.builder import KernelBuilder
+from repro.programs.asm import assemble, disassemble
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "Program",
+    "KernelBuilder",
+    "assemble",
+    "disassemble",
+]

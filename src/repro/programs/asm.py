@@ -1,0 +1,211 @@
+"""Tiny two-pass assembler and disassembler for the mini ISA.
+
+The paper notes every BSA study needs "compiler and assembler
+extensions"; this module is our assembler.  Format, one instruction per
+line::
+
+    .func main
+    entry:
+        li   r3, 0
+    loop:
+        ld   r4, [r3+16]
+        add  r3, r3, 1
+        slt  r5, r3, 64
+        br   r5, loop
+        halt
+
+Rules:
+
+- ``.func NAME`` starts a function; the first label inside it names the
+  entry block.  Code before any label goes into an implicit
+  ``<func>_entry`` block.
+- Operand forms: registers ``rN``, integer/float immediates, memory
+  ``[rN+OFF]`` / ``[rN]``, and bare identifiers for branch/call targets.
+- ``#`` starts a comment.
+"""
+
+import re
+
+from repro.isa.opcodes import Opcode, is_branch, is_load, is_memory
+from repro.isa.instruction import Instruction
+from repro.isa.registers import parse_reg, reg_name
+from repro.programs.ir import Program
+
+_MEM_RE = re.compile(r"^\[(r\d+)(?:\s*\+\s*(-?\d+))?\]$")
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+def _parse_operand(text):
+    """Classify one operand -> ('reg', n) | ('imm', v) | ('mem', (r, off))
+    | ('label', s)."""
+    text = text.strip()
+    match = _MEM_RE.match(text)
+    if match:
+        return ("mem", (parse_reg(match.group(1)),
+                        int(match.group(2) or 0)))
+    if re.match(r"^r\d+$", text):
+        return ("reg", parse_reg(text))
+    try:
+        return ("imm", int(text))
+    except ValueError:
+        pass
+    try:
+        return ("imm", float(text))
+    except ValueError:
+        pass
+    if re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", text):
+        return ("label", text)
+    raise AsmError(f"bad operand: {text!r}")
+
+
+def _split_operands(text):
+    """Split on commas not inside brackets."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _build_instruction(opcode, operands, line_no):
+    """Map parsed operands onto the Instruction fields for *opcode*."""
+    kinds = [kind for kind, _ in operands]
+    values = [value for _, value in operands]
+
+    def fail(msg):
+        raise AsmError(f"line {line_no}: {msg}")
+
+    if opcode in (Opcode.JMP, Opcode.CALL):
+        if kinds != ["label"]:
+            fail(f"{opcode.value} takes one label")
+        return Instruction(opcode, target=values[0])
+    if opcode is Opcode.BR:
+        if kinds != ["reg", "label"]:
+            fail("br takes: cond-reg, label")
+        return Instruction(opcode, srcs=(values[0],), target=values[1])
+    if opcode in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+        if operands:
+            fail(f"{opcode.value} takes no operands")
+        return Instruction(opcode)
+    if is_memory(opcode):
+        if is_load(opcode):
+            if kinds != ["reg", "mem"]:
+                fail("load takes: dest-reg, [base+off]")
+            base, offset = values[1]
+            return Instruction(opcode, dest=values[0], srcs=(base,),
+                               imm=offset)
+        if kinds != ["reg", "mem"] and kinds != ["mem", "reg"]:
+            fail("store takes: value-reg, [base+off]")
+        if kinds[0] == "reg":
+            value_reg, (base, offset) = values[0], values[1]
+        else:
+            (base, offset), value_reg = values[0], values[1]
+        return Instruction(opcode, srcs=(base, value_reg), imm=offset)
+    if opcode is Opcode.LI:
+        if kinds != ["reg", "imm"]:
+            fail("li takes: dest-reg, immediate")
+        return Instruction(opcode, dest=values[0], imm=values[1])
+    if opcode in (Opcode.MOV, Opcode.FSQRT, Opcode.FCVT):
+        if kinds != ["reg", "reg"]:
+            fail(f"{opcode.value} takes: dest-reg, src-reg")
+        return Instruction(opcode, dest=values[0], srcs=(values[1],))
+    # Generic ALU/FP binary op: dest, src1, src2-or-imm.
+    if len(operands) != 3 or kinds[0] != "reg" or kinds[1] != "reg":
+        fail(f"{opcode.value} takes: dest-reg, src-reg, src-reg|imm")
+    if kinds[2] == "reg":
+        return Instruction(opcode, dest=values[0],
+                           srcs=(values[1], values[2]))
+    if kinds[2] == "imm":
+        return Instruction(opcode, dest=values[0], srcs=(values[1],),
+                           imm=values[2])
+    fail(f"bad third operand for {opcode.value}")
+
+
+def assemble(source, name="program"):
+    """Assemble *source* text into a finalized Program."""
+    program = Program(name)
+    function = None
+    block = None
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".func"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AsmError(f"line {line_no}: .func takes one name")
+            function = program.add_function(parts[1])
+            block = None
+            continue
+        if function is None:
+            raise AsmError(f"line {line_no}: code before .func")
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", label):
+                raise AsmError(f"line {line_no}: bad label {label!r}")
+            block = function.add_block(label)
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        opcode = _OPCODES_BY_NAME.get(mnemonic.strip())
+        if opcode is None:
+            raise AsmError(f"line {line_no}: unknown opcode {mnemonic!r}")
+        operands = [_parse_operand(op) for op in _split_operands(rest)]
+        if block is None:
+            block = function.add_block(f"{function.name}_entry")
+        elif block.terminator is not None:
+            # Code after a terminator without a label starts an
+            # implicit fall-through block.
+            block = function.add_block(
+                f"{block.label}_cont{line_no}")
+        block.append(_build_instruction(opcode, operands, line_no))
+    return program.finalize()
+
+
+def disassemble(program):
+    """Render a Program back to assembler text (round-trippable)."""
+    lines = []
+    for function in program.functions.values():
+        lines.append(f".func {function.name}")
+        for block in function.blocks:
+            lines.append(f"{block.label}:")
+            for inst in block:
+                lines.append(f"    {_format_inst(inst)}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_inst(inst):
+    opcode = inst.opcode
+    if opcode in (Opcode.JMP, Opcode.CALL):
+        return f"{opcode.value} {inst.target}"
+    if opcode is Opcode.BR:
+        return f"{opcode.value} {reg_name(inst.srcs[0])}, {inst.target}"
+    if opcode in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+        return opcode.value
+    if inst.is_load:
+        return (f"{opcode.value} {reg_name(inst.dest)}, "
+                f"[{reg_name(inst.srcs[0])}+{inst.imm or 0}]")
+    if inst.is_store:
+        return (f"{opcode.value} {reg_name(inst.srcs[1])}, "
+                f"[{reg_name(inst.srcs[0])}+{inst.imm or 0}]")
+    if opcode is Opcode.LI:
+        return f"{opcode.value} {reg_name(inst.dest)}, {inst.imm}"
+    parts = [reg_name(inst.dest)] if inst.dest is not None else []
+    parts.extend(reg_name(s) for s in inst.srcs)
+    if inst.imm is not None:
+        parts.append(str(inst.imm))
+    return f"{opcode.value} " + ", ".join(parts)

@@ -1,0 +1,424 @@
+"""KernelBuilder: a structured DSL for authoring workload kernels.
+
+The paper's workloads are C programs compiled to binaries; ours are
+written directly against the mini ISA through this builder, which
+handles register allocation, block layout, loop/if structure and memory
+layout, while producing ordinary :class:`~repro.programs.ir.Program`
+objects plus an initial memory image.
+
+Loops use a bottom-test (do-while) layout, so the back-branch is the
+biased, predictable branch — the shape hot-trace accelerators exploit.
+
+Example
+-------
+>>> k = KernelBuilder("dot")
+>>> a = k.array("a", [1.0] * 64)
+>>> b = k.array("b", [2.0] * 64)
+>>> with k.function("main"):
+...     acc = k.var(0.0)
+...     with k.loop(64) as i:
+...         av = k.ld(a, i)
+...         bv = k.ld(b, i)
+...         k.set(acc, k.fadd(acc, k.fmul(av, bv)))
+...     k.halt()
+>>> program, memory = k.build()
+"""
+
+import contextlib
+
+from repro.isa.opcodes import Opcode
+from repro.isa.instruction import Instruction
+from repro.isa.registers import NUM_REGS
+from repro.programs.ir import Program
+
+#: First register available to the builder's allocator (r0..r2 reserved).
+_FIRST_ALLOC_REG = 3
+
+#: Non-main functions allocate from here up, so callees never clobber
+#: caller state (a simple register-window ABI; values cross the
+#: boundary through memory).
+_CALLEE_FIRST_REG = 36
+
+#: Words per cache line; array bases are aligned to this.
+LINE_WORDS = 8
+
+
+class Val:
+    """A value held in a register, produced by builder operations."""
+
+    __slots__ = ("reg", "builder")
+
+    def __init__(self, reg, builder):
+        self.reg = reg
+        self.builder = builder
+
+    def __repr__(self):
+        return f"<Val r{self.reg}>"
+
+    # Arithmetic sugar (delegates to the builder so emission order is
+    # explicit and linear).
+    def __add__(self, other):
+        return self.builder.add(self, other)
+
+    def __sub__(self, other):
+        return self.builder.sub(self, other)
+
+    def __mul__(self, other):
+        return self.builder.mul(self, other)
+
+
+class ArrayHandle:
+    """A named contiguous region in the initial memory image."""
+
+    __slots__ = ("name", "base", "length")
+
+    def __init__(self, name, base, length):
+        self.name = name
+        self.base = base
+        self.length = length
+
+    def __len__(self):
+        return self.length
+
+    def __repr__(self):
+        return f"<Array {self.name} @{self.base} len={self.length}>"
+
+
+class KernelBuilder:
+    """Builds a Program and memory image for one workload kernel."""
+
+    def __init__(self, name):
+        self.name = name
+        self.program = Program(name)
+        self.memory = []
+        self.arrays = {}
+        self._function = None
+        self._block = None
+        self._next_reg = _FIRST_ALLOC_REG
+        self._label_counter = 0
+        self._loop_exits = []
+
+    # ------------------------------------------------------------------
+    # memory layout
+    # ------------------------------------------------------------------
+    def array(self, name, values):
+        """Allocate a line-aligned array initialized with *values*.
+
+        *values* may be a list of numbers or an integer size (zeroed).
+        """
+        if isinstance(values, int):
+            values = [0] * values
+        values = list(values)
+        while len(self.memory) % LINE_WORDS:
+            self.memory.append(0)
+        base = len(self.memory)
+        self.memory.extend(values)
+        handle = ArrayHandle(name, base, len(values))
+        if name in self.arrays:
+            raise ValueError(f"duplicate array {name!r}")
+        self.arrays[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # function / block management
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def function(self, name):
+        if self._function is not None:
+            raise ValueError("functions cannot nest")
+        self._function = self.program.add_function(name)
+        self._block = self._function.add_block(f"{name}_entry")
+        saved_reg = self._next_reg
+        self._next_reg = (_FIRST_ALLOC_REG if name == "main"
+                          else _CALLEE_FIRST_REG)
+        try:
+            yield self._function
+        finally:
+            self._function = None
+            self._block = None
+            self._next_reg = saved_reg
+
+    def _fresh_label(self, hint):
+        self._label_counter += 1
+        return f"{hint}_{self._label_counter}"
+
+    def _start_block(self, label):
+        self._block = self._function.add_block(label)
+        return self._block
+
+    def _alloc_reg(self):
+        if self._next_reg >= NUM_REGS:
+            raise RuntimeError(
+                f"kernel {self.name!r} ran out of registers; "
+                "reuse Vals via set()/var()"
+            )
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def emit(self, opcode, dest=None, srcs=(), imm=None, target=None):
+        """Append a raw instruction to the current block."""
+        if self._block is None:
+            raise RuntimeError("emit outside of a function")
+        inst = Instruction(opcode, dest=dest, srcs=srcs, imm=imm,
+                           target=target)
+        self._block.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def const(self, value):
+        """Materialize a constant into a fresh register."""
+        val = Val(self._alloc_reg(), self)
+        self.emit(Opcode.LI, dest=val.reg, imm=value)
+        return val
+
+    def var(self, initial=0):
+        """A mutable variable (persistent register), see :meth:`set`."""
+        return self.const(initial)
+
+    def set(self, variable, value):
+        """Assign *value* into *variable*'s register (emits mov/li)."""
+        if isinstance(value, Val):
+            if value.reg != variable.reg:
+                self.emit(Opcode.MOV, dest=variable.reg, srcs=(value.reg,))
+        else:
+            self.emit(Opcode.LI, dest=variable.reg, imm=value)
+        return variable
+
+    def _operand(self, value):
+        """Normalize an operand: Val passes through, numbers become
+        (None, imm)."""
+        if isinstance(value, Val):
+            return value, None
+        if isinstance(value, (int, float)):
+            return None, value
+        raise TypeError(f"bad operand {value!r}")
+
+    def _binop(self, opcode, a, b, dest=None):
+        a_val, a_imm = self._operand(a)
+        b_val, b_imm = self._operand(b)
+        if a_val is None and b_val is None:
+            raise TypeError("at least one operand must be a Val")
+        if a_val is None:
+            # Constant on the left: materialize it (keeps semantics for
+            # non-commutative ops).
+            a_val = self.const(a_imm)
+            a_imm = None
+        out = dest if dest is not None else Val(self._alloc_reg(), self)
+        if b_val is None:
+            self.emit(opcode, dest=out.reg, srcs=(a_val.reg,), imm=b_imm)
+        else:
+            self.emit(opcode, dest=out.reg, srcs=(a_val.reg, b_val.reg))
+        return out
+
+    # Integer ops
+    def add(self, a, b, dest=None):
+        return self._binop(Opcode.ADD, a, b, dest)
+
+    def sub(self, a, b, dest=None):
+        return self._binop(Opcode.SUB, a, b, dest)
+
+    def mul(self, a, b, dest=None):
+        return self._binop(Opcode.MUL, a, b, dest)
+
+    def div(self, a, b, dest=None):
+        return self._binop(Opcode.DIV, a, b, dest)
+
+    def rem(self, a, b, dest=None):
+        return self._binop(Opcode.REM, a, b, dest)
+
+    def and_(self, a, b, dest=None):
+        return self._binop(Opcode.AND, a, b, dest)
+
+    def or_(self, a, b, dest=None):
+        return self._binop(Opcode.OR, a, b, dest)
+
+    def xor(self, a, b, dest=None):
+        return self._binop(Opcode.XOR, a, b, dest)
+
+    def shl(self, a, b, dest=None):
+        return self._binop(Opcode.SHL, a, b, dest)
+
+    def shr(self, a, b, dest=None):
+        return self._binop(Opcode.SHR, a, b, dest)
+
+    def slt(self, a, b, dest=None):
+        return self._binop(Opcode.SLT, a, b, dest)
+
+    def seq(self, a, b, dest=None):
+        return self._binop(Opcode.SEQ, a, b, dest)
+
+    def min_(self, a, b, dest=None):
+        return self._binop(Opcode.MIN, a, b, dest)
+
+    def max_(self, a, b, dest=None):
+        return self._binop(Opcode.MAX, a, b, dest)
+
+    # Floating-point ops
+    def fadd(self, a, b, dest=None):
+        return self._binop(Opcode.FADD, a, b, dest)
+
+    def fsub(self, a, b, dest=None):
+        return self._binop(Opcode.FSUB, a, b, dest)
+
+    def fmul(self, a, b, dest=None):
+        return self._binop(Opcode.FMUL, a, b, dest)
+
+    def fdiv(self, a, b, dest=None):
+        return self._binop(Opcode.FDIV, a, b, dest)
+
+    def fmin(self, a, b, dest=None):
+        return self._binop(Opcode.FMIN, a, b, dest)
+
+    def fmax(self, a, b, dest=None):
+        return self._binop(Opcode.FMAX, a, b, dest)
+
+    def fslt(self, a, b, dest=None):
+        return self._binop(Opcode.FSLT, a, b, dest)
+
+    def fsqrt(self, a, dest=None):
+        a_val, _ = self._operand(a)
+        out = dest if dest is not None else Val(self._alloc_reg(), self)
+        self.emit(Opcode.FSQRT, dest=out.reg, srcs=(a_val.reg,))
+        return out
+
+    def fcvt(self, a, dest=None):
+        a_val, _ = self._operand(a)
+        out = dest if dest is not None else Val(self._alloc_reg(), self)
+        self.emit(Opcode.FCVT, dest=out.reg, srcs=(a_val.reg,))
+        return out
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def _address(self, base, index):
+        """Return (base_reg_val, imm_offset) for base[index]."""
+        if isinstance(base, ArrayHandle):
+            if isinstance(index, Val):
+                base_val = self.add(index, base.base)
+                return base_val, 0
+            return None, base.base + int(index)
+        if isinstance(base, Val):
+            if isinstance(index, Val):
+                return self.add(base, index), 0
+            return base, int(index)
+        raise TypeError(f"bad address base {base!r}")
+
+    def ld(self, base, index=0, dest=None):
+        """Load base[index]; *base* is an ArrayHandle or address Val."""
+        base_val, offset = self._address(base, index)
+        base_reg = base_val.reg if base_val is not None else 0  # r0 == 0
+        out = dest if dest is not None else Val(self._alloc_reg(), self)
+        self.emit(Opcode.LD, dest=out.reg, srcs=(base_reg,), imm=offset)
+        return out
+
+    def st(self, base, index, value):
+        """Store *value* to base[index]."""
+        base_val, offset = self._address(base, index)
+        base_reg = base_val.reg if base_val is not None else 0  # r0 == 0
+        value_val, value_imm = self._operand(value)
+        if value_val is None:
+            value_val = self.const(value_imm)
+        self.emit(Opcode.ST, srcs=(base_reg, value_val.reg), imm=offset)
+
+    @contextlib.contextmanager
+    def temps(self):
+        """Scope whose register allocations are recycled on exit.
+
+        Use for expression temporaries that do not outlive the block
+        (values escaping the scope must live in registers allocated
+        outside, e.g. accumulators updated via :meth:`set`).
+        """
+        saved = self._next_reg
+        try:
+            yield
+        finally:
+            self._next_reg = saved
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, count, start=0, step=1):
+        """Counted loop with bottom-test layout; yields the index Val.
+
+        *count* is the exclusive upper bound (int or Val).  The trip
+        count must be at least 1 (do-while layout, no entry guard).
+        """
+        index = self.const(start)
+        if isinstance(count, Val):
+            bound = count
+        else:
+            bound = self.const(count)
+        body_label = self._fresh_label("loop")
+        exit_label = self._fresh_label("loop_exit")
+        self._start_block(body_label)
+        self._loop_exits.append(exit_label)
+        try:
+            yield index
+        finally:
+            self._loop_exits.pop()
+            self.add(index, step, dest=index)
+            cond = self.slt(index, bound)
+            self.emit(Opcode.BR, srcs=(cond.reg,), target=body_label)
+            self._start_block(exit_label)
+
+    @contextlib.contextmanager
+    def while_(self, cond_fn):
+        """Top-test while loop; *cond_fn* emits and returns the
+        continue-condition Val each iteration."""
+        header_label = self._fresh_label("while")
+        exit_label = self._fresh_label("while_exit")
+        body_label = self._fresh_label("while_body")
+        self._start_block(header_label)
+        cond = cond_fn()
+        stop = self.seq(cond, 0)
+        self.emit(Opcode.BR, srcs=(stop.reg,), target=exit_label)
+        self._start_block(body_label)
+        self._loop_exits.append(exit_label)
+        try:
+            yield
+        finally:
+            self._loop_exits.pop()
+            self.emit(Opcode.JMP, target=header_label)
+            self._start_block(exit_label)
+
+    def if_(self, cond, then_fn, else_fn=None):
+        """Emit an if/else diamond.  Bodies are emitted by callables so
+        instruction order stays explicit."""
+        then_label = self._fresh_label("then")
+        else_label = self._fresh_label("else")
+        join_label = self._fresh_label("join")
+        self.emit(Opcode.BR, srcs=(cond.reg,), target=then_label)
+        # Fall-through path = else side (a fresh block after the br).
+        self._start_block(else_label)
+        if else_fn is not None:
+            else_fn()
+        self.emit(Opcode.JMP, target=join_label)
+        self._start_block(then_label)
+        then_fn()
+        self._start_block(join_label)
+
+    def break_(self):
+        """Jump to the innermost loop's exit block."""
+        if not self._loop_exits:
+            raise RuntimeError("break_ outside of a loop")
+        self.emit(Opcode.JMP, target=self._loop_exits[-1])
+        self._start_block(self._fresh_label("afterbreak"))
+
+    def call(self, function_name):
+        self.emit(Opcode.CALL, target=function_name)
+
+    def ret(self):
+        self.emit(Opcode.RET)
+
+    def halt(self):
+        self.emit(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """Finalize and return (program, memory_image)."""
+        self.program.finalize()
+        return self.program, list(self.memory)

@@ -1,0 +1,225 @@
+"""Core IR classes: BasicBlock, Function, Program.
+
+Control-flow rules:
+
+- Every block ends with at most one control instruction (br/jmp/call/
+  ret/halt) which must be its last instruction.
+- A ``br`` has two successors: its named target (taken) and the next
+  block in layout order (fall-through).
+- A block with no terminator falls through to the next block.
+- ``call`` transfers to the named function's entry block; ``ret``
+  returns to the instruction after the call (handled dynamically by the
+  interpreter).
+"""
+
+from repro.isa.opcodes import Opcode, is_branch
+from repro.isa.instruction import Instruction
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with a unique label."""
+
+    def __init__(self, label):
+        self.label = label
+        self.instructions = []
+        self.function = None
+        self.index = None           # layout position within the function
+
+    def append(self, instruction):
+        if not isinstance(instruction, Instruction):
+            raise TypeError("can only append Instruction objects")
+        if self.terminator is not None:
+            raise ValueError(
+                f"block {self.label} already has a terminator"
+            )
+        instruction.block = self
+        instruction.index = len(self.instructions)
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self):
+        """The trailing control instruction, or None for fall-through.
+
+        ``call`` is not a terminator: execution resumes at the next
+        instruction of the same block after the callee returns.
+        """
+        if not self.instructions:
+            return None
+        last = self.instructions[-1]
+        if last.opcode in (
+            Opcode.BR, Opcode.JMP, Opcode.RET, Opcode.HALT,
+        ):
+            return last
+        return None
+
+    def successors(self):
+        """Labels of CFG successors in (taken, fallthrough) order.
+
+        ``call`` is treated as falling through to the next block for
+        intra-function CFG purposes (the callee is a separate function).
+        """
+        function = self.function
+        term = self.terminator
+        next_label = None
+        if function is not None and self.index is not None:
+            layout = function.blocks
+            if self.index + 1 < len(layout):
+                next_label = layout[self.index + 1].label
+        if term is None:
+            return [next_label] if next_label is not None else []
+        if term.opcode is Opcode.JMP:
+            return [term.target]
+        if is_branch(term.opcode):
+            succs = [term.target]
+            if next_label is not None:
+                succs.append(next_label)
+            return succs
+        return []  # ret / halt
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __repr__(self):
+        return f"<BasicBlock {self.label} ({len(self.instructions)} insts)>"
+
+
+class Function:
+    """An ordered list of basic blocks; the first block is the entry."""
+
+    def __init__(self, name):
+        self.name = name
+        self.blocks = []
+        self._by_label = {}
+        self.program = None
+
+    def add_block(self, label):
+        if label in self._by_label:
+            raise ValueError(f"duplicate block label {label!r}")
+        block = BasicBlock(label)
+        block.function = self
+        block.index = len(self.blocks)
+        self.blocks.append(block)
+        self._by_label[label] = block
+        return block
+
+    def block(self, label):
+        return self._by_label[label]
+
+    def has_block(self, label):
+        return label in self._by_label
+
+    @property
+    def entry(self):
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def instructions(self):
+        """Iterate all instructions in layout order."""
+        for block in self.blocks:
+            yield from block
+
+    def cfg_edges(self):
+        """Iterate (src_label, dst_label) CFG edges."""
+        for block in self.blocks:
+            for succ in block.successors():
+                yield (block.label, succ)
+
+    def predecessors(self):
+        """Map label -> sorted list of predecessor labels."""
+        preds = {block.label: [] for block in self.blocks}
+        for src, dst in self.cfg_edges():
+            if dst in preds:
+                preds[dst].append(src)
+        return preds
+
+    def validate(self):
+        """Check that all branch targets and callees resolve."""
+        for block in self.blocks:
+            for inst in block:
+                if inst.opcode in (Opcode.BR, Opcode.JMP):
+                    if not self.has_block(inst.target):
+                        raise ValueError(
+                            f"{self.name}/{block.label}: unknown target "
+                            f"{inst.target!r}"
+                        )
+                elif inst.opcode is Opcode.CALL:
+                    if self.program is None \
+                            or not self.program.has_function(inst.target):
+                        raise ValueError(
+                            f"{self.name}/{block.label}: unknown callee "
+                            f"{inst.target!r}"
+                        )
+
+    def __repr__(self):
+        total = sum(len(b) for b in self.blocks)
+        return f"<Function {self.name} ({len(self.blocks)} blocks, {total} insts)>"
+
+
+class Program:
+    """A set of functions plus static metadata.
+
+    Instruction uids are assigned densely across the whole program when
+    :meth:`finalize` runs, giving the trace and TDG a stable static id
+    space (the stand-in for "PC" in the paper's binary-based flow).
+    """
+
+    def __init__(self, name="program"):
+        self.name = name
+        self.functions = {}
+        self._static = []        # uid -> Instruction
+        self._finalized = False
+
+    def add_function(self, name):
+        if name in self.functions:
+            raise ValueError(f"duplicate function {name!r}")
+        function = Function(name)
+        function.program = self
+        self.functions[name] = function
+        self._finalized = False
+        return function
+
+    def function(self, name):
+        return self.functions[name]
+
+    def has_function(self, name):
+        return name in self.functions
+
+    @property
+    def main(self):
+        if "main" not in self.functions:
+            raise ValueError("program has no 'main' function")
+        return self.functions["main"]
+
+    def finalize(self):
+        """Assign uids, validate control flow.  Idempotent."""
+        self._static = []
+        for function in self.functions.values():
+            function.validate()
+            for instruction in function.instructions():
+                instruction.uid = len(self._static)
+                self._static.append(instruction)
+        self._finalized = True
+        return self
+
+    @property
+    def static_instructions(self):
+        if not self._finalized:
+            self.finalize()
+        return self._static
+
+    def instruction(self, uid):
+        return self.static_instructions[uid]
+
+    def __len__(self):
+        return len(self.static_instructions)
+
+    def __repr__(self):
+        return (
+            f"<Program {self.name}: {len(self.functions)} functions, "
+            f"{len(self)} static insts>"
+        )

@@ -1,0 +1,24 @@
+"""Trace-generation substrate (the role gem5 played for Prism).
+
+The interpreter executes a Program functionally while attached cache and
+branch-predictor models annotate each dynamic instruction with the
+micro-architectural facts the TDG embeds: memory latency, memory
+dependences, and branch mispredictions (paper section 2.3).
+"""
+
+from repro.sim.cache import Cache, CacheHierarchy, CacheConfig
+from repro.sim.branch import GSharePredictor, BimodalPredictor
+from repro.sim.trace import DynInst, Trace
+from repro.sim.interpreter import Interpreter, run_program
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheConfig",
+    "GSharePredictor",
+    "BimodalPredictor",
+    "DynInst",
+    "Trace",
+    "Interpreter",
+    "run_program",
+]

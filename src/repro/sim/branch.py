@@ -1,0 +1,60 @@
+"""Branch-direction predictors.
+
+Only conditional branches (``br``) are predicted; unconditional control
+is assumed BTB-resolved.  The default is a gshare predictor; a bimodal
+predictor is provided for sensitivity studies and tests.
+"""
+
+
+class BimodalPredictor:
+    """Per-PC table of 2-bit saturating counters."""
+
+    def __init__(self, table_bits=12):
+        self.table_size = 1 << table_bits
+        self._counters = [2] * self.table_size  # weakly taken
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc):
+        return pc % self.table_size
+
+    def predict_and_update(self, pc, taken):
+        """Predict branch at *pc*, then train with the outcome.
+        Returns True if the prediction was correct."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+        return correct
+
+    @property
+    def misprediction_rate(self):
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class GSharePredictor(BimodalPredictor):
+    """Global-history XOR-indexed 2-bit counter table."""
+
+    def __init__(self, table_bits=12, history_bits=12):
+        super().__init__(table_bits)
+        self.history_bits = history_bits
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc):
+        return (pc ^ self._history) % self.table_size
+
+    def predict_and_update(self, pc, taken):
+        correct = super().predict_and_update(pc, taken)
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+        return correct

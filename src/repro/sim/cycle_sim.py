@@ -1,0 +1,183 @@
+"""Cycle-stepped out-of-order / in-order core simulator.
+
+This is the *independent reference* the TDG validates against (the
+role gem5 and published results play in paper Table 1 / Figure 5).  It
+shares nothing with the TDG timing engine algorithmically: instead of
+dependence-graph longest paths, it steps pipeline state cycle by
+cycle — fetch, decode, dispatch into ROB/IQ, oldest-first select over
+FUs and D-cache ports, writeback wakeup, in-order commit, and
+redirect-on-mispredict.  Discrepancies between the two are genuine
+modeling error, which is exactly what the validation experiment
+measures.
+"""
+
+from repro.isa.opcodes import Opcode, OpClass
+
+_UNPIPELINED = {
+    Opcode.DIV, Opcode.REM, Opcode.FDIV, Opcode.FSQRT,
+}
+
+_FAR_FUTURE = float("inf")
+
+
+class _InFlight:
+    """Book-keeping for one in-flight instruction."""
+
+    __slots__ = ("dyn", "index", "dispatch_ready", "completed",
+                 "complete_cycle")
+
+    def __init__(self, dyn, index, dispatch_ready):
+        self.dyn = dyn
+        self.index = index
+        self.dispatch_ready = dispatch_ready  # cycle it exits decode
+        self.completed = False
+        self.complete_cycle = None
+
+
+class CycleSimResult:
+    def __init__(self, cycles, instructions):
+        self.cycles = cycles
+        self.instructions = instructions
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def __repr__(self):
+        return f"<CycleSim {self.cycles} cycles, IPC={self.ipc:.2f}>"
+
+
+class CycleSimulator:
+    """Trace-driven cycle-level core model."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def run(self, stream, max_cycles=50_000_000):
+        """Simulate *stream*; returns a :class:`CycleSimResult`."""
+        config = self.config
+        width = config.width
+        in_order = config.in_order
+        decode_depth = config.decode_depth
+        rob_cap = config.rob_size if not in_order \
+            else width * (decode_depth + 4)
+        iq_cap = config.iq_size if not in_order else width * 2
+        fetch_buffer_cap = width * (decode_depth + 2)
+
+        stream = [d for d in stream if d.accel is None]
+        n = len(stream)
+        if n == 0:
+            return CycleSimResult(0, 0)
+
+        complete_cycle = {}    # seq -> cycle its value is available
+        pending = set()        # seqs in flight, not yet completed
+        decode_queue = []      # fetched, still in the front end
+        rob = []               # dispatched, program order
+        iq = []                # waiting to issue (program order)
+        fetch_index = 0
+        committed = 0
+        cycle = 0
+        fetch_stall_until = 0
+        fu_pool = {cls: [0] * config.fu_count(cls) for cls in OpClass}
+        port_pool = [0] * config.dcache_ports
+
+        def deps_ready(dyn):
+            for dep in dyn.src_deps:
+                if dep in pending:
+                    return False
+                t = complete_cycle.get(dep)
+                if t is not None and t > cycle:
+                    return False
+            if dyn.mem_dep is not None and not dyn.static.is_store:
+                if dyn.mem_dep in pending:
+                    return False
+                t = complete_cycle.get(dyn.mem_dep)
+                if t is not None and t > cycle:
+                    return False
+            return True
+
+        while committed < n and cycle < max_cycles:
+            # ---- commit (oldest first, up to width) -----------------
+            commits = 0
+            while rob and commits < width:
+                head = rob[0]
+                if head.completed and head.complete_cycle < cycle:
+                    rob.pop(0)
+                    committed += 1
+                    commits += 1
+                else:
+                    break
+
+            # ---- issue ----------------------------------------------
+            issued = 0
+            for entry in list(iq):
+                if issued >= width:
+                    break
+                dyn = entry.dyn
+                can_issue = entry.dispatch_ready <= cycle \
+                    and deps_ready(dyn)
+                slot = None
+                if can_issue:
+                    latency = dyn.latency
+                    occupancy = (latency if dyn.opcode in _UNPIPELINED
+                                 else 1)
+                    pool = (port_pool if dyn.mem_addr is not None
+                            else fu_pool[dyn.op_class])
+                    slot = min(range(len(pool)), key=pool.__getitem__)
+                    if pool[slot] > cycle:
+                        can_issue = False
+                if not can_issue:
+                    if in_order:
+                        break   # stall issue at the oldest blocked op
+                    continue
+                pool[slot] = cycle + occupancy
+                entry.completed = True
+                entry.complete_cycle = cycle + latency
+                complete_cycle[dyn.seq] = cycle + latency
+                pending.discard(dyn.seq)
+                iq.remove(entry)
+                issued += 1
+                if dyn.mispredicted:
+                    fetch_stall_until = (cycle + latency
+                                         + config.branch_penalty)
+
+            # ---- dispatch (decode exit -> ROB + IQ) -----------------
+            dispatched = 0
+            while (decode_queue and dispatched < width
+                   and len(rob) < rob_cap and len(iq) < iq_cap):
+                entry = decode_queue[0]
+                if entry.dispatch_ready > cycle:
+                    break
+                decode_queue.pop(0)
+                entry.dispatch_ready = cycle + 1   # earliest issue
+                rob.append(entry)
+                iq.append(entry)
+                pending.add(entry.dyn.seq)
+                dispatched += 1
+
+            # ---- fetch ----------------------------------------------
+            fetched = 0
+            while (fetched < width and fetch_index < n
+                   and len(decode_queue) < fetch_buffer_cap
+                   and cycle >= fetch_stall_until):
+                dyn = stream[fetch_index]
+                stall = dyn.icache_lat
+                entry = _InFlight(dyn, fetch_index,
+                                  cycle + stall + decode_depth)
+                decode_queue.append(entry)
+                fetch_index += 1
+                fetched += 1
+                if dyn.mispredicted:
+                    # Front end chases the wrong path until redirect.
+                    fetch_stall_until = _FAR_FUTURE
+                    break
+                if stall:
+                    # I$ miss: the front end stalls until the line
+                    # arrives.
+                    fetch_stall_until = max(fetch_stall_until,
+                                            cycle + stall)
+                    break
+
+            cycle += 1
+
+        return CycleSimResult(cycle, n)

@@ -1,0 +1,132 @@
+"""Dynamic-trace records consumed by the TDG constructor.
+
+A :class:`DynInst` is one executed instruction carrying the dynamic
+facts the paper's µDG embeds: producer seq-ids for each register
+operand, the memory dependence, the observed memory latency, and branch
+outcome/misprediction.  A :class:`Trace` is the ordered stream plus
+summary statistics.
+"""
+
+from repro.isa.opcodes import op_class, fu_latency
+
+
+class DynInst:
+    """One dynamic instruction instance."""
+
+    __slots__ = (
+        "seq", "static", "opcode", "src_deps", "mem_dep", "mem_addr",
+        "mem_lat", "mem_level", "taken", "mispredicted", "icache_lat",
+        "accel", "extra_deps", "lat_override", "vector_width",
+    )
+
+    def __init__(self, seq, static, opcode, src_deps=(), mem_dep=None,
+                 mem_addr=None, mem_lat=0, mem_level=None, taken=None,
+                 mispredicted=False, icache_lat=0, accel=None,
+                 extra_deps=(), lat_override=None, vector_width=1):
+        self.seq = seq
+        self.static = static        # the static Instruction (or a
+        #                             transform-synthesized pseudo-inst)
+        self.opcode = opcode        # may differ from static.opcode after
+        #                             a transform rewrites it
+        self.src_deps = tuple(src_deps)
+        self.mem_dep = mem_dep      # seq of the store this load/store
+        #                             depends on, or None
+        self.mem_addr = mem_addr
+        self.mem_lat = mem_lat
+        self.mem_level = mem_level  # 'l1' | 'l2' | 'dram' | None
+        self.taken = taken
+        self.mispredicted = mispredicted
+        self.icache_lat = icache_lat
+        # ---- transform-side fields (paper's "graph re-writing") ------
+        self.accel = accel          # BSA tag when the op runs off-core
+        self.extra_deps = tuple(extra_deps)   # (seq, latency) edges
+        self.lat_override = lat_override      # transform-set latency
+        self.vector_width = vector_width      # lanes (energy accounting)
+
+    def clone(self, **overrides):
+        """Copy with field overrides (used by TDG transforms)."""
+        fields = dict(
+            seq=self.seq, static=self.static, opcode=self.opcode,
+            src_deps=self.src_deps, mem_dep=self.mem_dep,
+            mem_addr=self.mem_addr, mem_lat=self.mem_lat,
+            mem_level=self.mem_level, taken=self.taken,
+            mispredicted=self.mispredicted, icache_lat=self.icache_lat,
+            accel=self.accel, extra_deps=self.extra_deps,
+            lat_override=self.lat_override,
+            vector_width=self.vector_width,
+        )
+        fields.update(overrides)
+        return DynInst(**fields)
+
+    @property
+    def op_class(self):
+        return op_class(self.opcode)
+
+    @property
+    def latency(self):
+        """Execute latency: a transform override if present, else the
+        observed memory latency for memory ops, else FU latency."""
+        if self.lat_override is not None:
+            return self.lat_override
+        if self.mem_addr is not None and self.mem_lat:
+            return self.mem_lat
+        return fu_latency(self.opcode)
+
+    @property
+    def uid(self):
+        """Static uid ("PC") of the underlying instruction."""
+        return self.static.uid if self.static is not None else None
+
+    def __repr__(self):
+        return (f"<DynInst #{self.seq} {self.opcode.value} "
+                f"uid={self.uid}>")
+
+
+class Trace:
+    """An executed instruction stream plus execution metadata."""
+
+    def __init__(self, program, instructions, memory=None, registers=None):
+        self.program = program
+        self.instructions = instructions
+        self.memory = memory          # final memory image (for checks)
+        self.registers = registers    # final register file
+        self.block_counts = {}        # (func, label) -> executions
+        self.branch_outcomes = {}     # static uid -> [not_taken, taken]
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    def record_block(self, function_name, label):
+        key = (function_name, label)
+        self.block_counts[key] = self.block_counts.get(key, 0) + 1
+
+    def record_branch(self, uid, taken):
+        outcome = self.branch_outcomes.setdefault(uid, [0, 0])
+        outcome[int(taken)] += 1
+
+    def branch_bias(self, uid):
+        """Probability the branch at *uid* is taken (0.5 if unseen)."""
+        outcome = self.branch_outcomes.get(uid)
+        if not outcome or not sum(outcome):
+            return 0.5
+        return outcome[1] / sum(outcome)
+
+    # -- summary statistics used by analyses and tests -----------------
+    def count_opcodes(self):
+        counts = {}
+        for dyn in self.instructions:
+            counts[dyn.opcode] = counts.get(dyn.opcode, 0) + 1
+        return counts
+
+    def mispredict_count(self):
+        return sum(1 for dyn in self.instructions if dyn.mispredicted)
+
+    def memory_access_count(self):
+        return sum(1 for dyn in self.instructions
+                   if dyn.mem_addr is not None)

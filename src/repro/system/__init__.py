@@ -1,0 +1,29 @@
+"""Chip-level composition of ExoCores (paper Figure 1).
+
+The paper's opening figure shows an ExoCore-enabled heterogeneous
+system: many ExoCore tiles behind a shared cache/NoC, justified by the
+dark-silicon argument ("prior to the advent of dark silicon, such a
+design would not have been sensible").  This package provides that
+chip-level layer:
+
+- :mod:`repro.system.chip` — tile and chip models: compose ExoCore
+  tiles under area and TDP budgets, with multiprogrammed throughput
+  and energy metrics.
+- :mod:`repro.system.darksilicon` — the budget exploration: for a
+  fixed die area and power envelope, which ExoCore configuration
+  maximizes throughput, and how much silicon must stay dark.
+"""
+
+from repro.system.chip import Tile, Chip, build_tile
+from repro.system.darksilicon import (
+    BudgetPoint, explore_budgets, best_tile_under_budget,
+)
+
+__all__ = [
+    "Tile",
+    "Chip",
+    "build_tile",
+    "BudgetPoint",
+    "explore_budgets",
+    "best_tile_under_budget",
+]

@@ -1,0 +1,122 @@
+"""Tile and chip models for ExoCore-enabled heterogeneous systems.
+
+A :class:`Tile` is one ExoCore (a core config plus BSA subset) with
+its measured per-workload performance/energy (taken from a design-
+space sweep).  A :class:`Chip` replicates tiles under an area budget
+and reports multiprogrammed throughput and average power — the
+quantities the dark-silicon exploration trades off.
+"""
+
+from repro.core_model import core_by_name
+from repro.dse.report import REFERENCE_CORE, geomean
+from repro.energy.area import exocore_area
+
+#: Nominal clock (GHz) used to convert pJ/cycle into watts.
+NOMINAL_GHZ = 2.0
+
+#: Uncore area charged per chip (shared L2 slice, NoC, IO), mm^2.
+UNCORE_AREA = 6.0
+
+
+class Tile:
+    """One ExoCore tile: core + BSA subset + measured behavior."""
+
+    def __init__(self, core_name, subset, rel_performance,
+                 energy_per_work_pj, avg_power_w):
+        self.core_name = core_name
+        self.subset = tuple(subset)
+        #: Geomean workload performance relative to the IO2 baseline.
+        self.rel_performance = rel_performance
+        #: Geomean energy per unit of work, pJ (IO2 baseline = its own).
+        self.energy_per_work_pj = energy_per_work_pj
+        #: Average power while running the workload mix, W.
+        self.avg_power_w = avg_power_w
+        self.area_mm2 = exocore_area(core_by_name(core_name), subset)
+
+    @property
+    def name(self):
+        letters = "".join(b[0].upper() if b != "simd" else "S"
+                          for b in self.subset)
+        return f"{self.core_name}-{letters or '-'}"
+
+    def __repr__(self):
+        return (f"<Tile {self.name}: perf={self.rel_performance:.2f} "
+                f"{self.area_mm2:.1f}mm2 {self.avg_power_w:.2f}W>")
+
+
+def build_tile(sweep, core_name, subset):
+    """Construct a Tile from sweep measurements.
+
+    Power is derived from each benchmark's energy and cycle count at
+    the nominal clock; performance and energy are geomeans across the
+    sweep's workloads (the multiprogrammed mix).
+    """
+    perfs = []
+    energies = []
+    powers = []
+    for record in sweep.benchmarks():
+        ref_cycles, _ref_energy, _ = record.baseline[REFERENCE_CORE]
+        summary = record.summary(core_name, subset)
+        cycles = max(1, summary["cycles"])
+        energy = summary["energy_pj"]
+        perfs.append(ref_cycles / cycles)
+        energies.append(energy)
+        # P = E / t; t = cycles / f.
+        seconds = cycles / (NOMINAL_GHZ * 1e9)
+        powers.append(energy * 1e-12 / seconds if seconds else 0.0)
+    return Tile(core_name, subset,
+                rel_performance=geomean(perfs),
+                energy_per_work_pj=geomean(energies),
+                avg_power_w=sum(powers) / len(powers))
+
+
+class Chip:
+    """A chip: N copies of one tile type plus shared uncore.
+
+    Throughput assumes an embarrassingly multiprogrammed mix (one
+    independent workload instance per tile) with a shared-cache
+    contention discount that grows with tile count.
+    """
+
+    #: Throughput discount per extra tile (shared L2 / NoC pressure).
+    CONTENTION_PER_TILE = 0.015
+
+    def __init__(self, tile, count):
+        if count < 1:
+            raise ValueError("a chip needs at least one tile")
+        self.tile = tile
+        self.count = count
+
+    @property
+    def area_mm2(self):
+        return UNCORE_AREA + self.count * self.tile.area_mm2
+
+    @property
+    def peak_power_w(self):
+        return 0.5 + self.count * self.tile.avg_power_w
+
+    def throughput(self, powered_tiles=None):
+        """Aggregate relative throughput with *powered_tiles* active
+        (dark-silicon operation powers only a subset)."""
+        active = self.count if powered_tiles is None \
+            else min(powered_tiles, self.count)
+        contention = max(0.5, 1.0 - self.CONTENTION_PER_TILE
+                         * (active - 1))
+        return active * self.tile.rel_performance * contention
+
+    def power(self, powered_tiles=None):
+        active = self.count if powered_tiles is None \
+            else min(powered_tiles, self.count)
+        return 0.5 + active * self.tile.avg_power_w
+
+    def max_powered_tiles(self, tdp_w):
+        """How many tiles the TDP allows to run simultaneously."""
+        budget = tdp_w - 0.5
+        if self.tile.avg_power_w <= 0:
+            return self.count
+        return max(0, min(self.count,
+                          int(budget / self.tile.avg_power_w)))
+
+    def __repr__(self):
+        return (f"<Chip {self.count}x {self.tile.name}: "
+                f"{self.area_mm2:.0f}mm2, {self.peak_power_w:.1f}W peak>")

@@ -1,0 +1,67 @@
+"""Dark-silicon budget exploration over ExoCore tiles.
+
+The paper motivates ExoCore with the dark-silicon argument: "certain
+portions of the core would go unused at any given time — now the
+tradeoffs are more plausible."  This module quantifies that: under a
+fixed die area and TDP, specialized tiles that are individually larger
+(more silicon idle at any instant) can still win on delivered
+throughput because each active tile does more with less power.
+"""
+
+from repro.dse.sweep import ALL_BSAS
+from repro.system.chip import Chip, UNCORE_AREA, build_tile
+
+
+class BudgetPoint:
+    """One (tile type, chip) evaluation under a budget."""
+
+    def __init__(self, tile, chip, powered, throughput, dark_fraction):
+        self.tile = tile
+        self.chip = chip
+        self.powered = powered
+        self.throughput = throughput
+        self.dark_fraction = dark_fraction
+
+    def __repr__(self):
+        return (f"<BudgetPoint {self.tile.name} x{self.chip.count} "
+                f"({self.powered} lit): tput={self.throughput:.1f} "
+                f"dark={self.dark_fraction:.0%}>")
+
+
+#: Tile types considered: each core alone, with SIMD, and as a full
+#: ExoCore (a representative slice of the 64-point space).
+DEFAULT_TILE_SUBSETS = ((), ("simd",), ALL_BSAS)
+
+
+def explore_budgets(sweep, area_mm2, tdp_w,
+                    core_names=("IO2", "OOO2", "OOO4", "OOO6"),
+                    subsets=DEFAULT_TILE_SUBSETS):
+    """Evaluate every tile type under (area, TDP); returns the list of
+    :class:`BudgetPoint` sorted by delivered throughput."""
+    points = []
+    for core_name in core_names:
+        for subset in subsets:
+            tile = build_tile(sweep, core_name, subset)
+            usable = area_mm2 - UNCORE_AREA
+            count = int(usable // tile.area_mm2)
+            if count < 1:
+                continue
+            chip = Chip(tile, count)
+            powered = chip.max_powered_tiles(tdp_w)
+            if powered < 1:
+                continue
+            throughput = chip.throughput(powered)
+            dark = 1.0 - powered / count if count else 0.0
+            points.append(BudgetPoint(tile, chip, powered, throughput,
+                                      dark))
+    points.sort(key=lambda p: -p.throughput)
+    return points
+
+
+def best_tile_under_budget(sweep, area_mm2, tdp_w, **kwargs):
+    """The throughput-optimal tile type for the given budget."""
+    points = explore_budgets(sweep, area_mm2, tdp_w, **kwargs)
+    if not points:
+        raise ValueError(
+            f"no tile fits within {area_mm2}mm^2 / {tdp_w}W")
+    return points[0]

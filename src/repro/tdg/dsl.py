@@ -1,0 +1,270 @@
+"""A declarative DSL for TDG transforms (paper section 5.5).
+
+The paper notes its transforms are "simply written as short functions
+in C/C++.  A DSL to specify these transforms could make the TDG
+framework even more productive for designers."  This module implements
+that future-work item: transforms are declared as *rules* — a static
+pattern over the program IR plus a rewrite action over the dynamic
+trace — and a generic engine performs the analysis and graph
+rewriting.
+
+Example — the paper's fma transform in three lines::
+
+    rule = (Rule("fma")
+            .match(op(Opcode.FMUL).single_use()
+                   .feeding(op(Opcode.FADD)))
+            .fuse(Opcode.FMA, latency=4))
+    transformed = DslTransform(program, [rule]).apply(stream)
+
+Supported actions:
+
+- ``fuse(opcode, latency)``   — collapse a matched producer/consumer
+  chain into one instruction of *opcode* (chain-head retyped, tail
+  elided, dependences re-attached);
+- ``retype(opcode, latency)`` — rewrite a single matched op's type;
+- ``offload(accel, latency)`` — move a matched op onto an accelerator
+  (bypasses the core front-end in the timing engine).
+"""
+
+from repro.isa.opcodes import Opcode, fu_latency
+
+
+class OpPattern:
+    """Matches one static instruction by opcode and predicates."""
+
+    def __init__(self, opcodes):
+        if isinstance(opcodes, Opcode):
+            opcodes = (opcodes,)
+        self.opcodes = frozenset(opcodes)
+        self.require_single_use = False
+        self.predicates = []
+        self.consumer = None     # chained OpPattern (dataflow edge)
+
+    def single_use(self):
+        """Require the matched op's result to have exactly one use
+        inside its basic block."""
+        self.require_single_use = True
+        return self
+
+    def where(self, predicate):
+        """Add an arbitrary predicate on the static Instruction."""
+        self.predicates.append(predicate)
+        return self
+
+    def feeding(self, consumer):
+        """Chain: this op's result feeds *consumer* (same block)."""
+        self.consumer = consumer
+        return self
+
+    # -- static matching --------------------------------------------------
+    def matches_inst(self, inst):
+        if inst.opcode not in self.opcodes:
+            return False
+        return all(predicate(inst) for predicate in self.predicates)
+
+    def chain_length(self):
+        length = 1
+        node = self.consumer
+        while node is not None:
+            length += 1
+            node = node.consumer
+        return length
+
+
+def op(opcodes):
+    """Shorthand constructor for an :class:`OpPattern`."""
+    return OpPattern(opcodes)
+
+
+class Rule:
+    """One named rewrite rule: a pattern plus an action."""
+
+    def __init__(self, name):
+        self.name = name
+        self.pattern = None
+        self.action = None
+        self.params = {}
+
+    def match(self, pattern):
+        self.pattern = pattern
+        return self
+
+    def fuse(self, opcode, latency=None):
+        self.action = "fuse"
+        self.params = {"opcode": opcode,
+                       "latency": latency or fu_latency(opcode)}
+        return self
+
+    def retype(self, opcode, latency=None):
+        self.action = "retype"
+        self.params = {"opcode": opcode,
+                       "latency": latency or fu_latency(opcode)}
+        return self
+
+    def offload(self, accel, latency=1):
+        self.action = "offload"
+        self.params = {"accel": accel, "latency": latency}
+        return self
+
+    def _validate(self):
+        if self.pattern is None or self.action is None:
+            raise ValueError(
+                f"rule {self.name!r} needs both match() and an action")
+        if self.action in ("retype", "offload") \
+                and self.pattern.consumer is not None:
+            raise ValueError(
+                f"rule {self.name!r}: {self.action} applies to single "
+                "ops, not chains")
+
+    def __repr__(self):
+        return f"<Rule {self.name}: {self.action}>"
+
+
+class _ChainPlan:
+    """Analyzer output: uids of one matched static chain."""
+
+    __slots__ = ("rule", "uids")
+
+    def __init__(self, rule, uids):
+        self.rule = rule
+        self.uids = tuple(uids)
+
+    @property
+    def head_uid(self):
+        return self.uids[0]
+
+
+class DslTransform:
+    """Generic analyzer + transformer driven by declarative rules."""
+
+    def __init__(self, program, rules):
+        self.program = program
+        self.rules = list(rules)
+        for rule in self.rules:
+            rule._validate()
+        self.plans = self._analyze()
+        #: uid -> plan, for each uid participating in a chain.
+        self._plan_of = {}
+        for plan in self.plans:
+            for uid in plan.uids:
+                self._plan_of[uid] = plan
+
+    # -- analyzer ---------------------------------------------------------
+    def _analyze(self):
+        plans = []
+        claimed = set()
+        for function in self.program.functions.values():
+            for block in function.blocks:
+                use_counts, consumers = self._block_dataflow(block)
+                for inst in block:
+                    for rule in self.rules:
+                        chain = self._match_chain(
+                            rule.pattern, inst, use_counts, consumers)
+                        if chain and not (set(chain) & claimed):
+                            plans.append(_ChainPlan(rule, chain))
+                            claimed.update(chain)
+                            break
+        return plans
+
+    @staticmethod
+    def _block_dataflow(block):
+        """Per-block def-use: uid -> use count, uid -> consumer uids."""
+        use_counts = {}
+        consumers = {}
+        last_writer = {}
+        for inst in block:
+            for reg in inst.srcs:
+                producer = last_writer.get(reg)
+                if producer is not None:
+                    use_counts[producer.uid] = \
+                        use_counts.get(producer.uid, 0) + 1
+                    consumers.setdefault(producer.uid,
+                                         []).append(inst)
+            if inst.dest is not None:
+                last_writer[inst.dest] = inst
+        return use_counts, consumers
+
+    def _match_chain(self, pattern, inst, use_counts, consumers):
+        """Try to match *pattern* starting at *inst*; returns uids."""
+        if not pattern.matches_inst(inst):
+            return None
+        if pattern.require_single_use \
+                and use_counts.get(inst.uid, 0) != 1:
+            return None
+        chain = [inst.uid]
+        if pattern.consumer is not None:
+            for consumer in consumers.get(inst.uid, ()):
+                rest = self._match_chain(pattern.consumer, consumer,
+                                         use_counts, consumers)
+                if rest is not None:
+                    return chain + list(rest)
+            return None
+        return chain
+
+    # -- transformer --------------------------------------------------------
+    def apply(self, stream):
+        """Rewrite a dynamic instruction stream per the matched plans."""
+        out = []
+        open_chains = {}  # uid -> (plan, rewritten head inst,
+        #                            next position in chain)
+        redirect = {}     # elided seq -> surviving seq
+        for dyn in stream:
+            uid = dyn.uid
+            plan = self._plan_of.get(uid)
+            if plan is None:
+                if any(dep in redirect for dep in dyn.src_deps):
+                    dyn = dyn.clone(src_deps=tuple(
+                        redirect.get(d, d) for d in dyn.src_deps))
+                out.append(dyn)
+                continue
+            rule = plan.rule
+            position = plan.uids.index(uid)
+            if rule.action == "retype":
+                out.append(dyn.clone(
+                    opcode=rule.params["opcode"],
+                    lat_override=rule.params["latency"]))
+                continue
+            if rule.action == "offload":
+                out.append(dyn.clone(
+                    accel=rule.params["accel"],
+                    lat_override=rule.params["latency"],
+                    mispredicted=False, icache_lat=0))
+                continue
+            # fuse
+            if position == 0:
+                head = dyn.clone(opcode=rule.params["opcode"],
+                                 lat_override=rule.params["latency"])
+                out.append(head)
+                if len(plan.uids) > 1:
+                    open_chains[plan.uids[1]] = (plan, head, 1)
+                continue
+            state = open_chains.pop(uid, None)
+            if state is None:
+                # Dynamic order diverged from the static chain (e.g.
+                # partial execution): keep the instruction as-is.
+                out.append(dyn)
+                continue
+            _plan, head, _pos = state
+            extra = tuple(d for d in dyn.src_deps
+                          if d != head.seq
+                          and redirect.get(d, d) != head.seq
+                          and d not in head.src_deps)
+            head.src_deps = head.src_deps + tuple(
+                redirect.get(d, d) for d in extra)
+            redirect[dyn.seq] = head.seq
+            if position + 1 < len(plan.uids):
+                open_chains[plan.uids[position + 1]] = \
+                    (plan, head, position + 1)
+        return out
+
+    def __repr__(self):
+        return (f"<DslTransform {len(self.rules)} rules, "
+                f"{len(self.plans)} matched chains>")
+
+
+def fma_rule():
+    """The paper's running example, declared in the DSL."""
+    return (Rule("fma")
+            .match(op(Opcode.FMUL).single_use()
+                   .feeding(op(Opcode.FADD)))
+            .fuse(Opcode.FMA, latency=fu_latency(Opcode.FMA)))

@@ -1,0 +1,177 @@
+"""Explicit micro-architectural dependence graph (µDG).
+
+The fast engine (:mod:`repro.tdg.engine`) never materializes the graph;
+this module does, for bounded windows, so that tests, validation
+microbenchmarks and examples can inspect nodes, edges and the critical
+path exactly as the paper's Figure 4 draws them.
+"""
+
+import enum
+
+
+class NodeKind(enum.IntEnum):
+    """Pipeline-event node types (paper Fig. 4: D/E/P/C plus fetch)."""
+
+    FETCH = 0
+    DISPATCH = 1
+    EXECUTE = 2
+    COMPLETE = 3
+    COMMIT = 4
+
+
+#: Short names used in rendered graphs (paper uses F/D/E/P/C).
+NODE_LETTER = {
+    NodeKind.FETCH: "F",
+    NodeKind.DISPATCH: "D",
+    NodeKind.EXECUTE: "E",
+    NodeKind.COMPLETE: "P",
+    NodeKind.COMMIT: "C",
+}
+
+
+class EdgeKind(enum.Enum):
+    """Dependence-edge classes in core and accelerator TDGs."""
+
+    FETCH_BW = "fetch_bw"            # F_{i-w} -> F_i, weight 1
+    PROGRAM_ORDER = "program_order"  # F_{i-1} -> F_i, weight 0
+    ICACHE_MISS = "icache_miss"      # fetch stalled by I$ miss
+    DECODE_PIPE = "decode_pipe"      # F_i -> D_i, front-end depth
+    DISPATCH_BW = "dispatch_bw"      # D_{i-w} -> D_i, weight 1
+    ROB_FULL = "rob_full"            # C_{i-ROB} -> D_i
+    IQ_FULL = "iq_full"              # E_{i-IQ} -> D_i
+    ISSUE = "issue"                  # D_i -> E_i, weight 1
+    INORDER_ISSUE = "inorder_issue"  # E_{i-1} -> E_i (in-order cores)
+    DATA_DEP = "data_dep"            # P_j -> E_i (operand forward)
+    MEM_DEP = "mem_dep"              # P_store -> E_load
+    FU_CONTENTION = "fu_contention"  # structural hazard on an FU
+    PORT_CONTENTION = "port"         # structural hazard on a D$ port
+    EXEC_LAT = "exec_lat"            # E_i -> P_i, FU/memory latency
+    COMPLETE_COMMIT = "complete_commit"  # P_i -> C_i
+    COMMIT_BW = "commit_bw"          # C_{i-w} -> C_i, weight 1
+    COMMIT_ORDER = "commit_order"    # C_{i-1} -> C_i
+    BRANCH_MISPRED = "branch_mispred"    # P_branch -> F_{i+1} + penalty
+    ACCEL_DEP = "accel_dep"          # transform-inserted dependence
+    ACCEL_RESOURCE = "accel_resource"    # accelerator structural hazard
+    REGION_ENTRY = "region_entry"    # core <-> accelerator transition
+
+
+class MicroDepGraph:
+    """An explicit µDG over a window of dynamic instructions.
+
+    Nodes are (seq, NodeKind) pairs; edges carry a weight (cycles) and
+    an :class:`EdgeKind`.  Longest-path times and the critical path are
+    computed on demand.
+    """
+
+    def __init__(self):
+        self._edges_in = {}    # node -> list of (src, weight, kind)
+        self._nodes = []       # insertion order (must be topological)
+        self._times = None
+        self._critical_pred = None
+
+    @staticmethod
+    def node(seq, kind):
+        return (seq, NodeKind(kind))
+
+    def add_node(self, seq, kind):
+        node = (seq, NodeKind(kind))
+        if node not in self._edges_in:
+            self._edges_in[node] = []
+            self._nodes.append(node)
+        self._times = None
+        return node
+
+    def add_edge(self, src, dst, weight, kind):
+        """Add src -> dst with *weight* cycles; both nodes must exist
+        (dst added after src: insertion order is the topological
+        order)."""
+        if src not in self._edges_in or dst not in self._edges_in:
+            raise KeyError("add nodes before adding edges")
+        self._edges_in[dst].append((src, weight, EdgeKind(kind)))
+        self._times = None
+
+    @property
+    def nodes(self):
+        return list(self._nodes)
+
+    def in_edges(self, node):
+        return list(self._edges_in[node])
+
+    def _solve(self):
+        if self._times is not None:
+            return
+        times = {}
+        critical = {}
+        for node in self._nodes:
+            best_time = 0
+            best_pred = None
+            best_kind = None
+            for src, weight, kind in self._edges_in[node]:
+                if src not in times:
+                    raise ValueError(
+                        f"edge source {src} appears after {node}; "
+                        "insertion order must be topological"
+                    )
+                candidate = times[src] + weight
+                if candidate > best_time:
+                    best_time = candidate
+                    best_pred = src
+                    best_kind = kind
+            times[node] = best_time
+            critical[node] = (best_pred, best_kind)
+        self._times = times
+        self._critical_pred = critical
+
+    def time_of(self, seq, kind):
+        """Longest-path arrival time of node (seq, kind)."""
+        self._solve()
+        return self._times[(seq, NodeKind(kind))]
+
+    def total_cycles(self):
+        """Max arrival time over all nodes (execution length)."""
+        self._solve()
+        return max(self._times.values()) if self._times else 0
+
+    def critical_path(self, end=None):
+        """Walk back the binding predecessors from *end* (default: the
+        latest node).  Returns a list of (node, edge_kind) oldest-first,
+        where edge_kind is the kind of the edge leaving that node toward
+        its successor on the path (None for the final node)."""
+        self._solve()
+        if not self._times:
+            return []
+        if end is None:
+            end = max(self._times, key=lambda n: (self._times[n], n))
+        path = [(end, None)]
+        node = end
+        while True:
+            pred, kind = self._critical_pred[node]
+            if pred is None:
+                break
+            path.append((pred, kind))
+            node = pred
+        path.reverse()
+        return path
+
+    def critical_kind_histogram(self):
+        """Count of each edge kind along the critical path."""
+        histogram = {}
+        for _node, kind in self.critical_path():
+            if kind is not None:
+                histogram[kind] = histogram.get(kind, 0) + 1
+        return histogram
+
+    def render(self):
+        """Multi-line text rendering (for examples / debugging)."""
+        self._solve()
+        lines = []
+        for node in self._nodes:
+            seq, kind = node
+            label = f"{NODE_LETTER[kind]}{seq}"
+            time = self._times[node]
+            preds = ", ".join(
+                f"{NODE_LETTER[k]}{s}+{w}({ek.value})"
+                for (s, k), w, ek in self._edges_in[node]
+            )
+            lines.append(f"{label:>8} @{time:<5} <- {preds}")
+        return "\n".join(lines)

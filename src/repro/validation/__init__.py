@@ -1,0 +1,26 @@
+"""Validation harness (paper Table 1 / Figure 5).
+
+Two experiments, mirroring the paper's structure:
+
+- **Core cross-validation**: the TDG timing engine's predictions vs
+  an independent cycle-stepped simulator
+  (:mod:`repro.sim.cycle_sim`), in both directions (narrow->wide,
+  wide->narrow), reported as IPC/IPE scatter and mean error.
+- **BSA validation**: each accelerator's fast (windowed, approximate)
+  model vs its detailed reference mode, reported as relative
+  speedup / energy-reduction scatter over a common baseline — the
+  shape of the paper's published-vs-projected comparison.
+"""
+
+from repro.validation.harness import (
+    ValidationPoint, cross_validate_cores, validate_accelerator,
+    TABLE1_ROWS, table1,
+)
+
+__all__ = [
+    "ValidationPoint",
+    "cross_validate_cores",
+    "validate_accelerator",
+    "TABLE1_ROWS",
+    "table1",
+]

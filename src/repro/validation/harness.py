@@ -1,0 +1,193 @@
+"""Validation experiments for Table 1 / Figure 5."""
+
+from repro.accel import BSA_REGISTRY, AnalysisContext
+from repro.core_model import core_by_name
+from repro.energy import EnergyModel
+from repro.sim.cycle_sim import CycleSimulator
+from repro.tdg import TimingEngine
+from repro.workloads import WORKLOADS
+
+#: Default microbenchmark set for core cross-validation (a slice of
+#: every suite, like the Vertical microbenchmarks extended set).
+CROSS_VALIDATION_BENCHES = (
+    "conv", "merge", "stencil", "spmv", "kmeans", "mm",
+    "cjpeg1", "gsmdecode", "tpch1", "433.milc",
+    "181.mcf", "164.gzip", "456.hmmer", "458.sjeng",
+)
+
+#: Benchmarks per BSA, drawn from the suites the original publications
+#: evaluated on (paper section 2.5).
+ACCEL_VALIDATION_BENCHES = {
+    "simd": ("conv", "radar", "stencil", "mm", "kmeans", "nnw",
+             "tpch1", "482.sphinx3"),
+    "dp_cgra": ("conv", "nbody", "radar", "vr", "cutcp", "kmeans",
+                "mm", "spmv", "stencil", "h264dec"),
+    "ns_df": ("181.mcf", "429.mcf", "164.gzip", "175.vpr",
+              "197.parser", "256.bzip2", "needle", "456.hmmer"),
+    "trace_p": ("181.mcf", "429.mcf", "164.gzip", "175.vpr",
+                "197.parser", "256.bzip2", "cjpeg1", "gsmdecode",
+                "gsmencode"),
+}
+
+#: Host ("Base" column of Table 1) per accelerator.
+ACCEL_BASE_CORE = {
+    "simd": "OOO4",
+    "dp_cgra": "OOO4",
+    "ns_df": "IO2",
+    "trace_p": "IO2",
+}
+
+
+class ValidationPoint:
+    """One scatter point: model prediction vs reference."""
+
+    __slots__ = ("benchmark", "predicted", "reference")
+
+    def __init__(self, benchmark, predicted, reference):
+        self.benchmark = benchmark
+        self.predicted = predicted
+        self.reference = reference
+
+    @property
+    def error(self):
+        if not self.reference:
+            return 0.0
+        return abs(self.predicted - self.reference) / abs(self.reference)
+
+    def __repr__(self):
+        return (f"<ValidationPoint {self.benchmark}: "
+                f"{self.predicted:.3f} vs {self.reference:.3f} "
+                f"({self.error * 100:.1f}%)>")
+
+
+def _mean_error(points):
+    if not points:
+        return 0.0
+    return sum(p.error for p in points) / len(points)
+
+
+def cross_validate_cores(source_core, target_core,
+                         benchmarks=CROSS_VALIDATION_BENCHES,
+                         scale=0.3):
+    """Paper's "OOOx -> OOOy" experiment: traces recorded under the
+    source configuration predict the target configuration; reference
+    is the independent cycle simulator.
+
+    Returns (ipc_points, ipe_points).
+    """
+    del source_core  # trace generation is config-independent here;
+    #                  kept in the signature to mirror the experiment.
+    target = core_by_name(target_core)
+    ipc_points = []
+    ipe_points = []
+    for name in benchmarks:
+        tdg = WORKLOADS[name].construct_tdg(scale=scale)
+        stream = tdg.trace.instructions
+        predicted = TimingEngine(target).run(stream)
+        reference = CycleSimulator(target).run(stream)
+        ipc_points.append(ValidationPoint(
+            name, predicted.ipc, reference.ipc))
+        # IPE: uops per unit energy; energy model shared, so IPE error
+        # tracks the cycle (leakage) discrepancy.
+        energy_model = EnergyModel(target)
+        e_pred = energy_model.evaluate(stream, predicted.cycles).total_nj
+        e_ref = energy_model.evaluate(stream, reference.cycles).total_nj
+        ipe_points.append(ValidationPoint(
+            name, len(stream) / e_pred, len(stream) / e_ref))
+    return ipc_points, ipe_points
+
+
+def validate_accelerator(bsa, benchmarks=None, base_core=None,
+                         scale=0.3, max_invocations=6):
+    """Fast-vs-detailed validation of one BSA model.
+
+    For every benchmark, computes relative speedup and energy
+    reduction over the base core, once with the fast (windowed) model
+    and once with the detailed reference mode; returns
+    (speedup_points, energy_points).
+    """
+    benchmarks = benchmarks or ACCEL_VALIDATION_BENCHES[bsa]
+    core = core_by_name(base_core or ACCEL_BASE_CORE[bsa])
+    speedup_points = []
+    energy_points = []
+    for name in benchmarks:
+        tdg = WORKLOADS[name].construct_tdg(scale=scale)
+        ctx = AnalysisContext(tdg)
+        fast = BSA_REGISTRY[bsa](detailed=False)
+        slow = BSA_REGISTRY[bsa](detailed=True)
+        plans = fast.find_candidates(ctx)
+        if not plans:
+            continue
+        energy_model = ctx.energy_model(core)
+        base_cycles = 0
+        base_energy = 0.0
+        fast_cycles = slow_cycles = 0
+        fast_energy = slow_energy = 0.0
+        for key, plan in plans.items():
+            intervals = ctx.intervals[key]
+            for start, end in intervals[:max_invocations]:
+                stream = tdg.trace.instructions[start:end]
+                result = TimingEngine(core).run(stream)
+                base_cycles += result.cycles
+                base_energy += energy_model.evaluate(
+                    stream, result.cycles).total_pj
+            f = fast.evaluate_region(ctx, plan, core,
+                                     max_invocations=max_invocations)
+            s = slow.evaluate_region(ctx, plan, core,
+                                     max_invocations=max_invocations)
+            scale_back = min(len(intervals), max_invocations) \
+                / len(intervals)
+            fast_cycles += f.cycles * scale_back
+            slow_cycles += s.cycles * scale_back
+            fast_energy += f.energy_pj * scale_back
+            slow_energy += s.energy_pj * scale_back
+        if not (fast_cycles and slow_cycles):
+            continue
+        speedup_points.append(ValidationPoint(
+            name, base_cycles / fast_cycles, base_cycles / slow_cycles))
+        energy_points.append(ValidationPoint(
+            name, slow_energy and fast_energy
+            and base_energy / fast_energy,
+            base_energy / slow_energy))
+    return speedup_points, energy_points
+
+
+#: Table 1 rows: (label, kind, args).
+TABLE1_ROWS = (
+    ("OOO8->1", "cross", ("OOO8", "OOO1")),
+    ("OOO1->8", "cross", ("OOO1", "OOO8")),
+    ("C-Cores", "accel", ("ns_df",)),    # closest behavioral analog
+    ("BERET", "accel", ("trace_p",)),
+    ("SIMD", "accel", ("simd",)),
+    ("DySER", "accel", ("dp_cgra",)),
+)
+
+
+def table1(scale=0.3):
+    """Regenerate paper Table 1: per-row mean perf/energy error and
+    metric ranges."""
+    rows = []
+    for label, kind, args in TABLE1_ROWS:
+        if kind == "cross":
+            perf_points, energy_points = cross_validate_cores(
+                *args, scale=scale)
+            base = "-"
+        else:
+            perf_points, energy_points = validate_accelerator(
+                args[0], scale=scale)
+            base = ACCEL_BASE_CORE[args[0]]
+        perf_values = [p.reference for p in perf_points]
+        energy_values = [p.reference for p in energy_points]
+        rows.append({
+            "accel": label,
+            "base": base,
+            "perf_err": _mean_error(perf_points),
+            "perf_range": (min(perf_values), max(perf_values))
+            if perf_values else (0, 0),
+            "energy_err": _mean_error(energy_points),
+            "energy_range": (min(energy_values), max(energy_values))
+            if energy_values else (0, 0),
+            "perf_points": perf_points,
+            "energy_points": energy_points,
+        })
+    return rows

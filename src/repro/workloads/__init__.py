@@ -1,0 +1,35 @@
+"""Workload suites (paper Table 3).
+
+Each benchmark is a synthetic kernel written against the mini ISA that
+reproduces the *behavioral essence* of its namesake: the data-parallel
+TPT and Parboil codes, multi-phase Mediabench codecs, TPC-H query
+kernels, SPECfp numeric loops, and irregular SPECint programs.  The
+suites keep the paper's workload categories:
+
+- regular: TPT + Parboil
+- semi-regular: Mediabench + TPCH + SPECfp
+- irregular: SPECint
+"""
+
+from repro.workloads.base import (
+    Workload, WORKLOADS, workload, by_suite, by_category, all_names,
+    SUITE_CATEGORY,
+)
+
+# Importing the suite modules populates the registry.
+from repro.workloads import tpt            # noqa: F401
+from repro.workloads import parboil        # noqa: F401
+from repro.workloads import mediabench     # noqa: F401
+from repro.workloads import tpch           # noqa: F401
+from repro.workloads import specfp         # noqa: F401
+from repro.workloads import specint        # noqa: F401
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "workload",
+    "by_suite",
+    "by_category",
+    "all_names",
+    "SUITE_CATEGORY",
+]

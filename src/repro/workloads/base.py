@@ -1,0 +1,100 @@
+"""Workload registry and helpers."""
+
+import random
+import zlib
+
+#: suite name -> paper workload category (Fig. 11 grouping).
+SUITE_CATEGORY = {
+    "tpt": "regular",
+    "parboil": "regular",
+    "mediabench": "semiregular",
+    "tpch": "semiregular",
+    "specfp": "semiregular",
+    "specint": "irregular",
+}
+
+#: Global registry: name -> Workload.
+WORKLOADS = {}
+
+
+class Workload:
+    """One benchmark: a kernel-builder factory plus metadata."""
+
+    def __init__(self, name, suite, description, factory, scale=1.0):
+        if suite not in SUITE_CATEGORY:
+            raise ValueError(f"unknown suite {suite!r}")
+        self.name = name
+        self.suite = suite
+        self.description = description
+        self.factory = factory
+        self.scale = scale
+
+    @property
+    def category(self):
+        return SUITE_CATEGORY[self.suite]
+
+    def build(self, scale=None):
+        """Build (program, memory) at *scale* (1.0 = default size)."""
+        builder = self.factory(scale if scale is not None else self.scale)
+        return builder.build()
+
+    def construct_tdg(self, scale=None, max_instructions=4_000_000):
+        """Build, run the simulator, and return the TDG."""
+        from repro.tdg.constructor import construct_tdg
+        program, memory = self.build(scale)
+        return construct_tdg(program, memory,
+                             max_instructions=max_instructions)
+
+    def __repr__(self):
+        return f"<Workload {self.name} ({self.suite})>"
+
+
+def workload(name, suite, description):
+    """Decorator registering a kernel factory.
+
+    The factory receives a *scale* float and returns a KernelBuilder
+    (not yet built).
+    """
+    def decorate(factory):
+        if name in WORKLOADS:
+            raise ValueError(f"duplicate workload {name!r}")
+        WORKLOADS[name] = Workload(name, suite, description, factory)
+        return factory
+    return decorate
+
+
+def by_suite(suite):
+    return [w for w in WORKLOADS.values() if w.suite == suite]
+
+
+def by_category(category):
+    return [w for w in WORKLOADS.values() if w.category == category]
+
+
+def all_names():
+    return sorted(WORKLOADS)
+
+
+def rng(name, salt=0):
+    """Deterministic per-workload random source (stable across runs)."""
+    return random.Random(zlib.crc32(f"{name}:{salt}".encode()))
+
+
+def fdata(name, count, low=0.0, high=10.0, salt=0):
+    """Deterministic float array data."""
+    source = rng(name, salt)
+    return [source.uniform(low, high) for _ in range(count)]
+
+
+def idata(name, count, low=0, high=100, salt=0):
+    """Deterministic int array data."""
+    source = rng(name, salt)
+    return [source.randint(low, high) for _ in range(count)]
+
+
+def scaled(base, scale, minimum=4, multiple=1):
+    """Scale a size parameter, keeping it a positive multiple."""
+    value = max(minimum, int(base * scale))
+    if multiple > 1:
+        value = max(multiple, (value // multiple) * multiple)
+    return value

@@ -1,0 +1,414 @@
+"""Mediabench-style codec kernels (semi-regular).
+
+Each benchmark is multi-phase, mirroring real codecs: a data-parallel
+transform phase (DCT/wavelet/filter), a biased-control phase
+(quantization, clamping), and an irregular serial phase (entropy
+coding).  This phase mix is what lets a single application use several
+BSAs (paper Fig. 13: cjpeg uses SIMD, NS-DF and Trace-P).
+"""
+
+from repro.programs.builder import KernelBuilder
+from repro.workloads.base import workload, fdata, idata, scaled
+
+
+def _dct_phase(k, blocks, src, dst, coeffs, block_size=8):
+    """Data-parallel transform over blocks (vectorizable inner loop)."""
+    with k.loop(blocks) as b:
+        base = k.mul(b, block_size)
+        with k.loop(block_size) as u:
+            with k.temps():
+                cu = k.ld(coeffs, u)
+                acc = k.var(0.0)
+                # Unrolled short dot product against the basis row.
+                for x in range(0, block_size, 2):
+                    with k.temps():
+                        s0 = k.ld(src, k.add(base, x))
+                        s1 = k.ld(src, k.add(base, x + 1))
+                        k.set(acc, k.fadd(acc, k.fadd(
+                            k.fmul(s0, cu), k.fmul(s1, cu))))
+                k.st(dst, k.add(base, u), acc)
+
+
+def _quant_phase(k, n, src, dst, threshold=0.75):
+    """Biased-control quantization (hot path: below threshold)."""
+    with k.loop(n) as i:
+        with k.temps():
+            v = k.ld(k.const(src.base), i)
+            small = k.fslt(v, threshold * 40.0)
+
+            def then_fn():
+                k.st(k.const(dst.base), i, k.fmul(v, 0.125))
+
+            def else_fn():
+                k.st(k.const(dst.base), i,
+                     k.fadd(k.fmul(v, 0.25), 1.0))
+
+            k.if_(small, then_fn, else_fn)
+
+
+def _entropy_phase(k, n, src, out):
+    """Serial run-length/entropy phase (irregular, carried deps)."""
+    run = k.var(0)
+    pos = k.var(0)
+    with k.loop(n) as i:
+        with k.temps():
+            v = k.ld(k.const(src.base), i)
+            zero = k.fslt(v, 0.5)
+
+            def then_fn():
+                k.set(run, k.add(run, 1))
+
+            def else_fn():
+                k.st(k.const(out.base), pos, run)
+                k.st(k.const(out.base), k.add(pos, 1), v)
+                k.set(pos, k.add(pos, 2))
+                k.set(run, 0)
+
+            k.if_(zero, then_fn, else_fn)
+
+
+def _jpeg(name, blocks_base):
+    def factory(scale):
+        k = KernelBuilder(name)
+        blocks = scaled(blocks_base, scale, minimum=4)
+        n = blocks * 8
+        src = k.array("src", fdata(name, n, low=0.0, high=64.0))
+        freq = k.array("freq", n)
+        quant = k.array("quant", n)
+        coded = k.array("coded", 2 * n)
+        coeffs = k.array("coeffs", fdata(name, 8, low=-1.0, high=1.0,
+                                         salt=1))
+        with k.function("main"):
+            _dct_phase(k, blocks, src, freq, coeffs)
+            _quant_phase(k, n, freq, quant)
+            _entropy_phase(k, n, quant, coded)
+            k.halt()
+        return k
+    return factory
+
+
+workload("cjpeg1", "mediabench", "JPEG encode: DCT + quant + RLE")(
+    _jpeg("cjpeg1", 24))
+workload("cjpeg2", "mediabench", "JPEG encode, larger input")(
+    _jpeg("cjpeg2", 40))
+
+
+def _djpeg(name, blocks_base):
+    def factory(scale):
+        k = KernelBuilder(name)
+        blocks = scaled(blocks_base, scale, minimum=4)
+        n = blocks * 8
+        coded = k.array("coded", fdata(name, n, low=0.0, high=16.0))
+        freq = k.array("freq", n)
+        pix = k.array("pix", n)
+        coeffs = k.array("coeffs", fdata(name, 8, low=-1.0, high=1.0,
+                                         salt=1))
+        with k.function("main"):
+            # Dequantize (pure data parallel).
+            with k.loop(n) as i:
+                with k.temps():
+                    v = k.ld(coded, i)
+                    k.st(freq, i, k.fmul(v, 8.0))
+            # IDCT-ish transform.
+            _dct_phase(k, blocks, freq, pix, coeffs)
+            # Clamp with biased control (most pixels in range).
+            with k.loop(n) as i:
+                with k.temps():
+                    v = k.ld(pix, i)
+                    over = k.fslt(255.0, v)
+
+                    def then_fn():
+                        k.st(pix, i, 255.0)
+
+                    k.if_(over, then_fn)
+            k.halt()
+        return k
+    return factory
+
+
+workload("djpeg1", "mediabench", "JPEG decode: dequant + IDCT + clamp")(
+    _djpeg("djpeg1", 24))
+workload("djpeg2", "mediabench", "JPEG decode, larger input")(
+    _djpeg("djpeg2", 40))
+
+
+@workload("gsmdecode", "mediabench", "GSM decode: LTP filter + postfilter")
+def gsmdecode(scale):
+    k = KernelBuilder("gsmdecode")
+    frames = scaled(12, scale, minimum=3)
+    n = frames * 40
+    residual = k.array("residual", fdata("gsmdecode", n + 8))
+    ltp = k.array("ltp", fdata("gsmdecode", 8, salt=1))
+    speech = k.array("speech", n)
+    with k.function("main"):
+        # Long-term prediction: short dot products (NS-DF friendly).
+        with k.loop(n) as i:
+            acc = k.var(0.0)
+            with k.loop(8) as t:
+                with k.temps():
+                    r = k.ld(residual, k.add(i, t))
+                    c = k.ld(ltp, t)
+                    k.set(acc, k.fadd(acc, k.fmul(r, c)))
+            k.st(speech, i, acc)
+        # De-emphasis postfilter: carried dependence (serial-ish).
+        prev = k.var(0.0)
+        with k.loop(n) as i:
+            with k.temps():
+                s = k.ld(speech, i)
+                v = k.fadd(s, k.fmul(prev, 0.86))
+                k.st(speech, i, v)
+                k.set(prev, v)
+        k.halt()
+    return k
+
+
+@workload("gsmencode", "mediabench", "GSM encode: autocorr + quant search")
+def gsmencode(scale):
+    k = KernelBuilder("gsmencode")
+    n = scaled(320, scale, minimum=80, multiple=8)
+    speech = k.array("speech", fdata("gsmencode", n + 8,
+                                     low=-4.0, high=4.0))
+    autoc = k.array("autoc", 8)
+    levels = k.array("levels", sorted(fdata("gsmencode", 8, salt=1)))
+    quantized = k.array("quantized", n)
+    with k.function("main"):
+        # Autocorrelation lags (vectorizable reductions).
+        with k.loop(8) as lag:
+            acc = k.var(0.0)
+            with k.loop(n) as i:
+                with k.temps():
+                    a = k.ld(speech, i)
+                    b = k.ld(speech, k.add(i, lag))
+                    k.set(acc, k.fadd(acc, k.fmul(a, b)))
+            k.st(autoc, lag, acc)
+        # Level search: biased early-exit scan (hot trace).
+        with k.loop(n) as i:
+            with k.temps():
+                v = k.ld(speech, i)
+                idx = k.var(0)
+                with k.loop(7) as l:
+                    with k.temps():
+                        lv = k.ld(levels, l)
+                        below = k.fslt(lv, v)
+
+                        def then_fn():
+                            k.set(idx, k.add(idx, 1))
+
+                        k.if_(below, then_fn)
+                k.st(quantized, i, idx)
+        k.halt()
+    return k
+
+
+@workload("h263enc", "mediabench", "H.263 encode: SAD search + mode decision")
+def h263enc(scale):
+    k = KernelBuilder("h263enc")
+    mbs = scaled(12, scale, minimum=3)
+    mb = 16
+    cur = k.array("cur", fdata("h263enc", mbs * mb, low=0.0, high=255.0))
+    ref = k.array("ref", fdata("h263enc", mbs * mb + 4, low=0.0,
+                               high=255.0, salt=1))
+    sads = k.array("sads", mbs * 4)
+    modes = k.array("modes", mbs)
+    with k.function("main"):
+        # Motion search: SAD over 4 candidate offsets (data parallel).
+        with k.loop(mbs) as m:
+            base = k.mul(m, mb)
+            with k.loop(4) as cand:
+                acc = k.var(0.0)
+                with k.loop(mb) as x:
+                    with k.temps():
+                        c = k.ld(k.const(cur.base), k.add(base, x))
+                        r = k.ld(k.const(ref.base),
+                                 k.add(k.add(base, x), cand))
+                        d = k.fsub(c, r)
+                        k.set(acc, k.fadd(acc, k.fmax(d, k.fsub(0.0, d))))
+                k.st(k.const(sads.base), k.add(k.mul(m, 4), cand), acc)
+        # Mode decision: compare SADs (branchy, biased toward inter).
+        with k.loop(mbs) as m:
+            with k.temps():
+                sbase = k.mul(m, 4)
+                best = k.var(1e30)
+                with k.loop(4) as cand:
+                    with k.temps():
+                        s = k.ld(k.const(sads.base), k.add(sbase, cand))
+                        k.set(best, k.fmin(best, s))
+                intra = k.fslt(2000.0, best)   # rare
+
+                def then_fn():
+                    k.st(modes, m, 1)
+
+                def else_fn():
+                    k.st(modes, m, 0)
+
+                k.if_(intra, then_fn, else_fn)
+        k.halt()
+    return k
+
+
+@workload("h264dec", "mediabench", "H.264 decode: 6-tap filter + deblock")
+def h264dec(scale):
+    k = KernelBuilder("h264dec")
+    n = scaled(256, scale, minimum=32, multiple=8)
+    src = k.array("src", fdata("h264dec", n + 6, low=0.0, high=255.0))
+    interp = k.array("interp", n)
+    edges = k.array("edges", idata("h264dec", n, low=0, high=4, salt=1))
+    with k.function("main"):
+        # Half-pel 6-tap interpolation (classic SIMD loop).
+        with k.loop(n) as i:
+            with k.temps():
+                a = k.ld(src, i)
+                b = k.ld(src, k.add(i, 1))
+                c = k.ld(src, k.add(i, 2))
+                d = k.ld(src, k.add(i, 3))
+                e = k.ld(src, k.add(i, 4))
+                f = k.ld(src, k.add(i, 5))
+                mid = k.fmul(k.fadd(c, d), 20.0)
+                outer = k.fadd(a, f)
+                inner = k.fmul(k.fadd(b, e), 5.0)
+                v = k.fmul(k.fadd(k.fsub(mid, inner), outer), 0.03125)
+                k.st(interp, i, v)
+        # Deblocking: boundary-strength conditional smoothing (biased).
+        with k.loop(n - 1) as i:
+            with k.temps():
+                bs = k.ld(edges, i)
+                strong = k.slt(2, bs)   # ~40% taken
+
+                def then_fn():
+                    p = k.ld(interp, i)
+                    q = k.ld(interp, k.add(i, 1))
+                    avg = k.fmul(k.fadd(p, q), 0.5)
+                    k.st(interp, i, avg)
+
+                k.if_(strong, then_fn)
+        k.halt()
+    return k
+
+
+def _jpg2000(name, direction):
+    def factory(scale):
+        k = KernelBuilder(name)
+        n = scaled(256, scale, minimum=32, multiple=16)
+        data = k.array("data", fdata(name, n + 2, low=-8.0, high=8.0))
+        sig = k.array("sig", n)
+        with k.function("main"):
+            # Lifting wavelet step on even/odd pairs (stride 2).
+            with k.loop(n // 2) as i:
+                with k.temps():
+                    even_i = k.mul(i, 2)
+                    odd_i = k.add(even_i, 1)
+                    even = k.ld(data, even_i)
+                    odd = k.ld(data, odd_i)
+                    nxt = k.ld(data, k.add(even_i, 2))
+                    if direction == "enc":
+                        detail = k.fsub(
+                            odd, k.fmul(k.fadd(even, nxt), 0.5))
+                    else:
+                        detail = k.fadd(
+                            odd, k.fmul(k.fadd(even, nxt), 0.25))
+                    k.st(data, odd_i, detail)
+            # Bitplane significance coding (serial, branchy).
+            run = k.var(0)
+            with k.loop(n) as i:
+                with k.temps():
+                    v = k.ld(data, i)
+                    mag = k.fmax(v, k.fsub(0.0, v))
+                    significant = k.fslt(1.0, mag)
+
+                    def then_fn():
+                        k.st(sig, i, k.add(run, 1))
+                        k.set(run, 0)
+
+                    def else_fn():
+                        k.set(run, k.add(run, 1))
+
+                    k.if_(significant, then_fn, else_fn)
+            k.halt()
+        return k
+    return factory
+
+
+workload("jpg2000dec", "mediabench", "JPEG2000 decode: lifting + bitplanes")(
+    _jpg2000("jpg2000dec", "dec"))
+workload("jpg2000enc", "mediabench", "JPEG2000 encode: lifting + bitplanes")(
+    _jpg2000("jpg2000enc", "enc"))
+
+
+@workload("mpeg2dec", "mediabench", "MPEG-2 decode: VLC + IDCT + motion comp")
+def mpeg2dec(scale):
+    k = KernelBuilder("mpeg2dec")
+    n = scaled(192, scale, minimum=32, multiple=8)
+    bits = k.array("bits", idata("mpeg2dec", 2 * n, low=0, high=7))
+    coef = k.array("coef", n)
+    refa = k.array("refa", fdata("mpeg2dec", n, low=0.0, high=255.0,
+                                 salt=1))
+    out = k.array("out", n)
+    with k.function("main"):
+        # VLC decode: data-dependent consumption (serial while loop).
+        pos = k.var(0)
+        count = k.var(0)
+
+        def cond():
+            return k.slt(count, n)
+
+        with k.while_(cond):
+            with k.temps():
+                code = k.ld(k.const(bits.base), pos)
+                short = k.slt(code, 5)   # biased: most codes short
+
+                def then_fn():
+                    k.st(k.const(coef.base), count, code)
+                    k.set(pos, k.add(pos, 1))
+
+                def else_fn():
+                    extra = k.ld(k.const(bits.base), k.add(pos, 1))
+                    k.st(k.const(coef.base), count,
+                         k.add(k.mul(code, 8), extra))
+                    k.set(pos, k.add(pos, 2))
+
+                k.if_(short, then_fn, else_fn)
+                k.set(count, k.add(count, 1))
+        # Motion compensation + reconstruction (vectorizable).
+        with k.loop(n) as i:
+            with k.temps():
+                c = k.ld(coef, i)
+                r = k.ld(refa, i)
+                k.st(out, i, k.fadd(r, k.fmul(c, 0.5)))
+        k.halt()
+    return k
+
+
+@workload("mpeg2enc", "mediabench", "MPEG-2 encode: SAD + DCT + ratecontrol")
+def mpeg2enc(scale):
+    k = KernelBuilder("mpeg2enc")
+    n = scaled(256, scale, minimum=32, multiple=8)
+    cur = k.array("cur", fdata("mpeg2enc", n, low=0.0, high=255.0))
+    ref = k.array("ref", fdata("mpeg2enc", n + 2, low=0.0, high=255.0,
+                               salt=1))
+    resid = k.array("resid", n)
+    qlevels = k.array("qlevels", n)
+    with k.function("main"):
+        # Residual computation (pure SIMD).
+        with k.loop(n) as i:
+            with k.temps():
+                c = k.ld(cur, i)
+                r = k.ld(ref, i)
+                k.st(resid, i, k.fsub(c, r))
+        # Quantize with rate-control feedback (carried dep + branch).
+        budget = k.var(400.0)
+        with k.loop(n) as i:
+            with k.temps():
+                v = k.ld(resid, i)
+                mag = k.fmax(v, k.fsub(0.0, v))
+                affordable = k.fslt(mag, budget)
+
+                def then_fn():
+                    k.st(qlevels, i, k.fmul(v, 0.2))
+                    k.set(budget, k.fsub(budget, k.fmul(mag, 0.01)))
+
+                def else_fn():
+                    k.st(qlevels, i, 0.0)
+
+                k.if_(affordable, then_fn, else_fn)
+        k.halt()
+    return k

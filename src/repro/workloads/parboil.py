@@ -1,0 +1,278 @@
+"""Parboil-style scientific kernels (highly regular).
+
+Each kernel keeps the memory/compute signature of its namesake:
+dense (mm, stencil, nnw), strided (fft), gather-based (spmv), carried-
+dependence DP (needle), and histogram (tpacf).
+"""
+
+from repro.programs.builder import KernelBuilder
+from repro.workloads.base import workload, fdata, idata, rng, scaled
+
+
+@workload("cutcp", "parboil", "cutoff Coulomb potential (biased branch + sqrt)")
+def cutcp(scale):
+    k = KernelBuilder("cutcp")
+    points = scaled(48, scale, minimum=8)
+    atoms = 24
+    gx = k.array("gx", fdata("cutcp", points))
+    gy = k.array("gy", fdata("cutcp", points, salt=1))
+    ax = k.array("ax", fdata("cutcp", atoms, salt=2))
+    ay = k.array("ay", fdata("cutcp", atoms, salt=3))
+    charge = k.array("charge", fdata("cutcp", atoms, low=0.1, high=1.0,
+                                     salt=4))
+    pot = k.array("pot", points)
+    with k.function("main"):
+        with k.loop(points) as p:
+            x = k.ld(gx, p)
+            y = k.ld(gy, p)
+            acc = k.var(0.0)
+            with k.loop(atoms) as a:
+                with k.temps():
+                    dx = k.fsub(k.ld(ax, a), x)
+                    dy = k.fsub(k.ld(ay, a), y)
+                    r2 = k.fadd(k.fmul(dx, dx), k.fmul(dy, dy))
+                    near = k.fslt(r2, 40.0)   # biased mostly-taken
+
+                    def then_fn():
+                        q = k.ld(charge, a)
+                        k.set(acc, k.fadd(
+                            acc, k.fdiv(q, k.fadd(k.fsqrt(r2), 0.1))))
+
+                    k.if_(near, then_fn)
+            k.st(pot, p, acc)
+        k.halt()
+    return k
+
+
+@workload("fft", "parboil", "radix-2 butterfly pass (strided access)")
+def fft(scale):
+    k = KernelBuilder("fft")
+    n = scaled(256, scale, minimum=32, multiple=16)
+    half = n // 2
+    re = k.array("re", fdata("fft", n))
+    im = k.array("im", fdata("fft", n, salt=1))
+    wre = k.array("wre", fdata("fft", half, low=-1.0, high=1.0, salt=2))
+    wim = k.array("wim", fdata("fft", half, low=-1.0, high=1.0, salt=3))
+    with k.function("main"):
+        # Three butterfly passes with stride-doubling access.
+        for stage, stride in ((0, 1), (1, 2), (2, 4)):
+            with k.loop(half) as i:
+                with k.temps():
+                    top = k.mul(i, 2)
+                    bot = k.add(top, stride)
+                    ar = k.ld(re, top)
+                    ai = k.ld(im, top)
+                    br = k.ld(re, bot)
+                    bi = k.ld(im, bot)
+                    tr = k.ld(wre, i)
+                    ti = k.ld(wim, i)
+                    xr = k.fsub(k.fmul(br, tr), k.fmul(bi, ti))
+                    xi = k.fadd(k.fmul(br, ti), k.fmul(bi, tr))
+                    k.st(re, top, k.fadd(ar, xr))
+                    k.st(im, top, k.fadd(ai, xi))
+                    k.st(re, bot, k.fsub(ar, xr))
+                    k.st(im, bot, k.fsub(ai, xi))
+        k.halt()
+    return k
+
+
+@workload("kmeans", "parboil", "nearest-centroid assignment (min-reduction)")
+def kmeans(scale):
+    k = KernelBuilder("kmeans")
+    points = scaled(160, scale, minimum=16)
+    clusters = 8
+    px = k.array("px", fdata("kmeans", points))
+    py = k.array("py", fdata("kmeans", points, salt=1))
+    cx = k.array("cx", fdata("kmeans", clusters, salt=2))
+    cy = k.array("cy", fdata("kmeans", clusters, salt=3))
+    assign = k.array("assign", points)
+    with k.function("main"):
+        with k.loop(points) as p:
+            x = k.ld(px, p)
+            y = k.ld(py, p)
+            best = k.var(1e30)
+            best_c = k.var(0)
+            with k.loop(clusters) as c:
+                with k.temps():
+                    dx = k.fsub(k.ld(cx, c), x)
+                    dy = k.fsub(k.ld(cy, c), y)
+                    d = k.fadd(k.fmul(dx, dx), k.fmul(dy, dy))
+                    closer = k.fslt(d, best)
+
+                    def then_fn():
+                        k.set(best, k.fmin(best, d))
+                        k.set(best_c, k.add(c, 0))
+
+                    k.if_(closer, then_fn)
+            k.st(assign, p, best_c)
+        k.halt()
+    return k
+
+
+@workload("lbm", "parboil", "lattice-Boltzmann style 5-point update")
+def lbm(scale):
+    k = KernelBuilder("lbm")
+    width = 32
+    rows = scaled(16, scale, minimum=6)
+    cells = (rows + 2) * width
+    grid = k.array("grid", fdata("lbm", cells, low=0.0, high=1.0))
+    out = k.array("out", cells)
+    with k.function("main"):
+        with k.loop(rows) as r:
+            row = k.mul(k.add(r, 1), width)
+            with k.loop(width - 2, start=1) as c:
+                with k.temps():
+                    center = k.add(row, c)
+                    v0 = k.ld(k.const(grid.base), center)
+                    v1 = k.ld(k.const(grid.base), k.sub(center, 1))
+                    v2 = k.ld(k.const(grid.base), k.add(center, 1))
+                    v3 = k.ld(k.const(grid.base), k.sub(center, width))
+                    v4 = k.ld(k.const(grid.base), k.add(center, width))
+                    flux = k.fadd(k.fadd(v1, v2), k.fadd(v3, v4))
+                    relaxed = k.fadd(k.fmul(v0, 0.6),
+                                     k.fmul(flux, 0.1))
+                    k.st(k.const(out.base), center, relaxed)
+        k.halt()
+    return k
+
+
+@workload("mm", "parboil", "dense matrix multiply (dot-product reduction)")
+def mm(scale):
+    k = KernelBuilder("mm")
+    n = scaled(16, scale, minimum=6)
+    a = k.array("a", fdata("mm", n * n))
+    b = k.array("b", fdata("mm", n * n, salt=1))
+    c = k.array("c", n * n)
+    with k.function("main"):
+        with k.loop(n) as i:
+            row = k.mul(i, n)
+            with k.loop(n) as j:
+                acc = k.var(0.0)
+                with k.loop(n) as x:
+                    with k.temps():
+                        av = k.ld(k.const(a.base), k.add(row, x))
+                        bv = k.ld(k.const(b.base),
+                                  k.add(k.mul(x, n), j))
+                        k.set(acc, k.fadd(acc, k.fmul(av, bv)))
+                k.st(k.const(c.base), k.add(row, j), acc)
+        k.halt()
+    return k
+
+
+@workload("needle", "parboil", "Needleman-Wunsch DP (carried dependence)")
+def needle(scale):
+    k = KernelBuilder("needle")
+    n = scaled(40, scale, minimum=10)
+    width = n + 1
+    score = k.array("score", [0.0] * (width * width))
+    penalty = k.array("penalty",
+                      idata("needle", n * n, low=-3, high=3))
+    with k.function("main"):
+        with k.loop(n) as i:
+            row = k.mul(k.add(i, 1), width)
+            prow = k.mul(i, width)
+            pbase = k.mul(i, n)
+            with k.loop(n) as j:
+                with k.temps():
+                    jj = k.add(j, 1)
+                    diag = k.ld(k.const(score.base), k.add(prow, j))
+                    up = k.ld(k.const(score.base), k.add(prow, jj))
+                    left = k.ld(k.const(score.base), k.add(row, j))
+                    p = k.ld(k.const(penalty.base), k.add(pbase, j))
+                    best = k.fmax(k.fadd(diag, p),
+                                  k.fmax(k.fsub(up, 1.0),
+                                         k.fsub(left, 1.0)))
+                    k.st(k.const(score.base), k.add(row, jj), best)
+        k.halt()
+    return k
+
+
+@workload("nnw", "parboil", "neural-net layer: matvec + ReLU")
+def nnw(scale):
+    k = KernelBuilder("nnw")
+    inputs = 32
+    outputs = scaled(48, scale, minimum=8)
+    x = k.array("x", fdata("nnw", inputs, low=-1.0, high=1.0))
+    w = k.array("w", fdata("nnw", inputs * outputs, low=-1.0, high=1.0,
+                           salt=1))
+    y = k.array("y", outputs)
+    with k.function("main"):
+        with k.loop(outputs) as o:
+            row = k.mul(o, inputs)
+            acc = k.var(0.0)
+            with k.loop(inputs) as i:
+                with k.temps():
+                    wv = k.ld(k.const(w.base), k.add(row, i))
+                    xv = k.ld(x, i)
+                    k.set(acc, k.fadd(acc, k.fmul(wv, xv)))
+            k.st(y, o, k.fmax(acc, 0.0))
+        k.halt()
+    return k
+
+
+@workload("spmv", "parboil", "sparse matrix-vector product (gather)")
+def spmv(scale):
+    k = KernelBuilder("spmv")
+    rows = scaled(96, scale, minimum=12)
+    nnz_per_row = 6
+    source = rng("spmv")
+    cols = []
+    for _ in range(rows * nnz_per_row):
+        cols.append(source.randrange(rows))
+    vals = k.array("vals", fdata("spmv", rows * nnz_per_row))
+    col_idx = k.array("col_idx", cols)
+    vec = k.array("vec", fdata("spmv", rows, salt=1))
+    out = k.array("out", rows)
+    with k.function("main"):
+        with k.loop(rows) as r:
+            base = k.mul(r, nnz_per_row)
+            acc = k.var(0.0)
+            with k.loop(nnz_per_row) as e:
+                with k.temps():
+                    off = k.add(base, e)
+                    v = k.ld(k.const(vals.base), off)
+                    c = k.ld(k.const(col_idx.base), off)
+                    xv = k.ld(k.const(vec.base), c)     # gather
+                    k.set(acc, k.fadd(acc, k.fmul(v, xv)))
+            k.st(out, r, acc)
+        k.halt()
+    return k
+
+
+@workload("stencil", "parboil", "1D 3-point Jacobi sweep (vectorizable)")
+def stencil(scale):
+    k = KernelBuilder("stencil")
+    n = scaled(512, scale, minimum=32, multiple=8)
+    src = k.array("src", fdata("stencil", n + 2))
+    dst = k.array("dst", n + 2)
+    with k.function("main"):
+        with k.loop(3):
+            with k.loop(n) as i:
+                with k.temps():
+                    left = k.ld(src, i)
+                    mid = k.ld(src, k.add(i, 1))
+                    right = k.ld(src, k.add(i, 2))
+                    blended = k.fmul(
+                        k.fadd(k.fadd(left, right), mid), 0.3333)
+                    k.st(dst, k.add(i, 1), blended)
+        k.halt()
+    return k
+
+
+@workload("tpacf", "parboil", "angular-correlation histogram (scatter)")
+def tpacf(scale):
+    k = KernelBuilder("tpacf")
+    pairs = scaled(384, scale, minimum=32)
+    bins = 16
+    angles = k.array("angles",
+                     fdata("tpacf", pairs, low=0.0, high=16.0))
+    hist = k.array("hist", [0] * bins)
+    with k.function("main"):
+        with k.loop(pairs) as p:
+            with k.temps():
+                a = k.ld(angles, p)
+                idx = k.min_(k.fcvt(a), bins - 1)   # truncate to bin
+                count = k.ld(k.const(hist.base), idx)
+                k.st(k.const(hist.base), idx, k.add(count, 1))
+        k.halt()
+    return k

@@ -1,0 +1,195 @@
+"""SPECfp-style numeric kernels (semi-regular).
+
+Each keeps its namesake's dominant loop behavior: milc's complex
+su3 arithmetic, namd's cutoff force loop, soplex's sparse pricing,
+povray's ray-sphere intersection, sphinx3's Gaussian scoring.
+"""
+
+from repro.programs.builder import KernelBuilder
+from repro.workloads.base import workload, fdata, idata, rng, scaled
+
+
+@workload("433.milc", "specfp", "su3 complex matrix-vector products")
+def milc(scale):
+    k = KernelBuilder("milc")
+    sites = scaled(48, scale, minimum=8)
+    dim = 3
+    mat_re = k.array("mat_re", fdata("milc", sites * dim * dim))
+    mat_im = k.array("mat_im", fdata("milc", sites * dim * dim, salt=1))
+    vec_re = k.array("vec_re", fdata("milc", sites * dim, salt=2))
+    vec_im = k.array("vec_im", fdata("milc", sites * dim, salt=3))
+    out_re = k.array("out_re", sites * dim)
+    out_im = k.array("out_im", sites * dim)
+    with k.function("main"):
+        with k.loop(sites) as s:
+            mbase = k.mul(s, dim * dim)
+            vbase = k.mul(s, dim)
+            with k.loop(dim) as r:
+                with k.temps():
+                    row = k.add(mbase, k.mul(r, dim))
+                    are = k.var(0.0)
+                    aim = k.var(0.0)
+                    for c in range(dim):
+                        with k.temps():
+                            mre = k.ld(mat_re, k.add(row, c))
+                            mim = k.ld(mat_im, k.add(row, c))
+                            vre = k.ld(vec_re, k.add(vbase, c))
+                            vim = k.ld(vec_im, k.add(vbase, c))
+                            k.set(are, k.fadd(are, k.fsub(
+                                k.fmul(mre, vre), k.fmul(mim, vim))))
+                            k.set(aim, k.fadd(aim, k.fadd(
+                                k.fmul(mre, vim), k.fmul(mim, vre))))
+                    idx = k.add(vbase, r)
+                    k.st(out_re, idx, are)
+                    k.st(out_im, idx, aim)
+        k.halt()
+    return k
+
+
+@workload("444.namd", "specfp", "pairlist force loop with cutoff")
+def namd(scale):
+    k = KernelBuilder("namd")
+    atoms = scaled(32, scale, minimum=8)
+    neighbors = 16
+    source = rng("namd")
+    pairs = [source.randrange(atoms) for _ in range(atoms * neighbors)]
+    x = k.array("x", fdata("namd", atoms))
+    y = k.array("y", fdata("namd", atoms, salt=1))
+    nbr = k.array("nbr", pairs)
+    force = k.array("force", atoms)
+    with k.function("main"):
+        with k.loop(atoms) as i:
+            xi = k.ld(x, i)
+            yi = k.ld(y, i)
+            f = k.var(0.0)
+            nbase = k.mul(i, neighbors)
+            with k.loop(neighbors) as nn:
+                with k.temps():
+                    j = k.ld(k.const(nbr.base), k.add(nbase, nn))
+                    xj = k.ld(k.const(x.base), j)   # gather
+                    yj = k.ld(k.const(y.base), j)
+                    dx = k.fsub(xj, xi)
+                    dy = k.fsub(yj, yi)
+                    r2 = k.fadd(k.fmul(dx, dx), k.fmul(dy, dy))
+                    within = k.fslt(r2, 60.0)    # biased mostly-taken
+
+                    def then_fn():
+                        inv = k.fdiv(1.0, k.fadd(r2, 0.5))
+                        k.set(f, k.fadd(f, k.fmul(inv, inv)))
+
+                    k.if_(within, then_fn)
+            k.st(force, i, f)
+        k.halt()
+    return k
+
+
+@workload("450.soplex", "specfp", "sparse pricing: gather + argmax")
+def soplex(scale):
+    k = KernelBuilder("soplex")
+    cols = scaled(96, scale, minimum=16)
+    nnz = 5
+    source = rng("soplex")
+    ridx = k.array(
+        "ridx", [source.randrange(cols) for _ in range(cols * nnz)])
+    vals = k.array("vals", fdata("soplex", cols * nnz, low=-2.0,
+                                 high=2.0))
+    duals = k.array("duals", fdata("soplex", cols, salt=1))
+    prices = k.array("prices", cols)
+    pivot = k.array("pivot", 1)
+    with k.function("main"):
+        # Price each column (sparse dot products; gathers).
+        with k.loop(cols) as c:
+            base = k.mul(c, nnz)
+            acc = k.var(0.0)
+            with k.loop(nnz) as e:
+                with k.temps():
+                    off = k.add(base, e)
+                    r = k.ld(k.const(ridx.base), off)
+                    v = k.ld(k.const(vals.base), off)
+                    d = k.ld(k.const(duals.base), r)
+                    k.set(acc, k.fadd(acc, k.fmul(v, d)))
+            k.st(prices, c, acc)
+        # Argmax scan for the pivot (branchy, unpredictable).
+        best = k.var(-1e30)
+        best_c = k.var(0)
+        with k.loop(cols) as c:
+            with k.temps():
+                p = k.ld(prices, c)
+                better = k.fslt(best, p)
+
+                def then_fn():
+                    k.set(best, k.fmax(best, p))
+                    k.set(best_c, k.add(c, 0))
+
+                k.if_(better, then_fn)
+        k.st(pivot, 0, best_c)
+        k.halt()
+    return k
+
+
+@workload("453.povray", "specfp", "ray-sphere intersection batch")
+def povray(scale):
+    k = KernelBuilder("povray")
+    n_rays = scaled(96, scale, minimum=16)
+    spheres = 8
+    dx = k.array("dx", fdata("povray", n_rays, low=-1.0, high=1.0))
+    dy = k.array("dy", fdata("povray", n_rays, low=-1.0, high=1.0,
+                             salt=1))
+    sx = k.array("sx", fdata("povray", spheres, salt=2))
+    sy = k.array("sy", fdata("povray", spheres, salt=3))
+    rad = k.array("rad", fdata("povray", spheres, low=0.5, high=2.0,
+                               salt=4))
+    hits = k.array("hits", n_rays)
+    with k.function("main"):
+        with k.loop(n_rays) as r:
+            rdx = k.ld(dx, r)
+            rdy = k.ld(dy, r)
+            nearest = k.var(1e30)
+            with k.loop(spheres) as s:
+                with k.temps():
+                    cx = k.ld(sx, s)
+                    cy = k.ld(sy, s)
+                    rr = k.ld(rad, s)
+                    b = k.fadd(k.fmul(rdx, cx), k.fmul(rdy, cy))
+                    cterm = k.fsub(
+                        k.fadd(k.fmul(cx, cx), k.fmul(cy, cy)),
+                        k.fmul(rr, rr))
+                    disc = k.fsub(k.fmul(b, b), cterm)
+                    hit = k.fslt(0.0, disc)    # ~50/50: varying control
+
+                    def then_fn():
+                        t = k.fsub(b, k.fsqrt(disc))
+                        k.set(nearest, k.fmin(nearest, t))
+
+                    k.if_(hit, then_fn)
+            k.st(hits, r, nearest)
+        k.halt()
+    return k
+
+
+@workload("482.sphinx3", "specfp", "GMM log-likelihood scoring")
+def sphinx3(scale):
+    k = KernelBuilder("sphinx3")
+    frames = scaled(24, scale, minimum=6)
+    dims = 16
+    feat = k.array("feat", fdata("sphinx3", frames * dims,
+                                 low=-1.0, high=1.0))
+    mean = k.array("mean", fdata("sphinx3", dims, salt=1))
+    var = k.array("var", fdata("sphinx3", dims, low=0.5, high=2.0,
+                               salt=2))
+    score = k.array("score", frames)
+    with k.function("main"):
+        with k.loop(frames) as f:
+            base = k.mul(f, dims)
+            acc = k.var(0.0)
+            with k.loop(dims) as d:
+                with k.temps():
+                    x = k.ld(k.const(feat.base), k.add(base, d))
+                    m = k.ld(mean, d)
+                    v = k.ld(var, d)
+                    diff = k.fsub(x, m)
+                    k.set(acc, k.fadd(
+                        acc, k.fmul(k.fmul(diff, diff), v)))
+            k.st(score, f, acc)
+        k.halt()
+    return k

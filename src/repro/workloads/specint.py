@@ -1,0 +1,434 @@
+"""SPECint-style irregular kernels.
+
+These keep the irregular control and memory behavior of their
+namesakes: pointer chasing (mcf, parser), data-dependent while loops
+(gzip), comparison sorts (bzip2), board scans (sjeng, gobmk), DP
+recurrences (hmmer), and the multi-phase encoder h264ref used in the
+paper's Fig. 14 switching study.
+"""
+
+from repro.programs.builder import KernelBuilder
+from repro.workloads.base import workload, fdata, idata, rng, scaled
+
+
+@workload("164.gzip", "specint", "LZ77 match loop (data-dependent exit)")
+def gzip(scale):
+    k = KernelBuilder("gzip")
+    n = scaled(96, scale, minimum=16)
+    window = 16
+    text = k.array("text", idata("gzip", n + window, low=0, high=7))
+    lengths = k.array("lengths", n)
+    with k.function("main"):
+        with k.loop(n) as pos:
+            best = k.var(0)
+            with k.loop(window - 1) as off:
+                with k.temps():
+                    length = k.var(0)
+                    # Match extension: biased continue branch.
+                    with k.loop(4) as m:
+                        with k.temps():
+                            a = k.ld(k.const(text.base),
+                                     k.add(pos, m))
+                            b = k.ld(k.const(text.base),
+                                     k.add(k.add(pos, off), k.add(m, 1)))
+                            same = k.seq(a, b)
+
+                            def then_fn():
+                                k.set(length, k.add(length, 1))
+
+                            k.if_(same, then_fn)
+                    k.set(best, k.max_(best, length))
+            k.st(lengths, pos, best)
+        k.halt()
+    return k
+
+
+def _mcf(name, nodes_base):
+    def factory(scale):
+        k = KernelBuilder(name)
+        nodes = scaled(nodes_base, scale, minimum=32)
+        arcs_per = 4
+        source = rng(name)
+        head = [source.randrange(nodes) for _ in range(nodes * arcs_per)]
+        cost = k.array("cost", idata(name, nodes * arcs_per,
+                                     low=1, high=50))
+        heads = k.array("heads", head)
+        potential = k.array("potential",
+                            idata(name, nodes, low=0, high=100, salt=1))
+        reduced = k.array("reduced", nodes * arcs_per)
+        negsum = k.array("negsum", 1)
+        with k.function("main"):
+            total = k.var(0)
+            with k.loop(nodes) as u:
+                pu = k.ld(potential, u)
+                abase = k.mul(u, arcs_per)
+                with k.loop(arcs_per) as a:
+                    with k.temps():
+                        off = k.add(abase, a)
+                        v = k.ld(k.const(heads.base), off)   # chase
+                        pv = k.ld(k.const(potential.base), v)
+                        c = k.ld(k.const(cost.base), off)
+                        rc = k.sub(k.add(c, pv), pu)
+                        k.st(k.const(reduced.base), off, rc)
+                        neg = k.slt(rc, 0)    # unpredictable
+
+                        def then_fn():
+                            k.set(total, k.add(total, 1))
+
+                        k.if_(neg, then_fn)
+            k.st(negsum, 0, total)
+            k.halt()
+        return k
+    return factory
+
+
+workload("181.mcf", "specint", "network-simplex arc pricing")(
+    _mcf("181.mcf", 64))
+workload("429.mcf", "specint", "network-simplex arc pricing (larger)")(
+    _mcf("429.mcf", 96))
+
+
+@workload("175.vpr", "specint", "placement cost with conditional swaps")
+def vpr(scale):
+    k = KernelBuilder("vpr")
+    cells = scaled(128, scale, minimum=32)
+    px = k.array("px", idata("vpr", cells, low=0, high=63))
+    py = k.array("py", idata("vpr", cells, low=0, high=63, salt=1))
+    net = k.array("net", idata("vpr", cells, low=0, high=15, salt=2))
+    costs = k.array("costs", cells)
+    with k.function("main"):
+        with k.loop(cells - 1) as c:
+            with k.temps():
+                x0 = k.ld(px, c)
+                y0 = k.ld(py, c)
+                x1 = k.ld(px, k.add(c, 1))
+                y1 = k.ld(py, k.add(c, 1))
+                ddx = k.sub(x1, x0)
+                ddy = k.sub(y1, y0)
+                dist = k.add(k.max_(ddx, k.sub(0, ddx)),
+                             k.max_(ddy, k.sub(0, ddy)))
+                same_net = k.seq(k.ld(net, c), k.ld(net, k.add(c, 1)))
+
+                def then_fn():
+                    k.st(costs, c, k.mul(dist, 3))
+
+                def else_fn():
+                    k.st(costs, c, dist)
+
+                k.if_(same_net, then_fn, else_fn)
+        k.halt()
+    return k
+
+
+@workload("197.parser", "specint", "linked dictionary walk")
+def parser(scale):
+    k = KernelBuilder("parser")
+    words = scaled(96, scale, minimum=16)
+    chain_len = 12
+    buckets = 32
+    source = rng("parser")
+    # next_of forms chains; key per node.
+    next_of = [source.randrange(buckets * chain_len)
+               for _ in range(buckets * chain_len)]
+    keys = k.array("keys", idata("parser", buckets * chain_len,
+                                 low=0, high=500))
+    nexts = k.array("nexts", next_of)
+    queries = k.array("queries", idata("parser", words, low=0, high=500,
+                                       salt=1))
+    results = k.array("results", words)
+    with k.function("main"):
+        with k.loop(words) as w:
+            target = k.ld(queries, w)
+            node = k.var(0)
+            hit = k.var(0)
+            with k.loop(chain_len):
+                with k.temps():
+                    key = k.ld(k.const(keys.base), node)
+                    match = k.seq(key, target)
+
+                    def then_fn():
+                        k.set(hit, k.add(hit, 1))
+
+                    k.if_(match, then_fn)
+                    nxt = k.ld(k.const(nexts.base), node)   # chase
+                    k.set(node, k.add(nxt, 0))
+            k.st(results, w, hit)
+        k.halt()
+    return k
+
+
+def _bzip2(name, n_base):
+    def factory(scale):
+        k = KernelBuilder(name)
+        n = scaled(n_base, scale, minimum=24)
+        data = k.array("data", idata(name, 2 * n, low=0, high=255))
+        ranks = k.array("ranks", n)
+        with k.function("main"):
+            # Suffix comparison (unpredictable compare chains).
+            with k.loop(n) as i:
+                rank = k.var(0)
+                with k.loop(n) as j:
+                    with k.temps():
+                        a = k.ld(k.const(data.base), i)
+                        b = k.ld(k.const(data.base), j)
+                        less = k.slt(b, a)
+
+                        def then_fn():
+                            k.set(rank, k.add(rank, 1))
+
+                        def else_fn():
+                            # Tie-break on the next byte.
+                            a2 = k.ld(k.const(data.base), k.add(i, 1))
+                            b2 = k.ld(k.const(data.base), k.add(j, 1))
+                            tie = k.seq(a, b)
+                            less2 = k.slt(b2, a2)
+                            both = k.and_(tie, less2)
+
+                            def inner():
+                                k.set(rank, k.add(rank, 1))
+
+                            k.if_(both, inner)
+
+                        k.if_(less, then_fn, else_fn)
+                k.st(ranks, i, rank)
+            k.halt()
+        return k
+    return factory
+
+
+workload("256.bzip2", "specint", "BWT suffix ranking")(
+    _bzip2("256.bzip2", 40))
+workload("401.bzip2", "specint", "BWT suffix ranking (larger)")(
+    _bzip2("401.bzip2", 56))
+
+
+@workload("403.gcc", "specint", "mixed small irregular passes")
+def gcc(scale):
+    k = KernelBuilder("gcc")
+    n = scaled(160, scale, minimum=32)
+    opcodes = k.array("opcodes", idata("gcc", n, low=0, high=9))
+    operands = k.array("operands", idata("gcc", n, low=0, high=63,
+                                         salt=1))
+    folded = k.array("folded", n)
+    live = k.array("live", 64)
+    with k.function("main"):
+        # Constant-fold pass: multiway biased dispatch.
+        with k.loop(n) as i:
+            with k.temps():
+                op = k.ld(opcodes, i)
+                val = k.ld(operands, i)
+                is_add = k.slt(op, 4)       # common
+
+                def fold_add():
+                    k.st(folded, i, k.add(val, 1))
+
+                def other():
+                    is_mul = k.slt(op, 7)
+
+                    def fold_mul():
+                        k.st(folded, i, k.mul(val, 2))
+
+                    def fold_misc():
+                        k.st(folded, i, k.xor(val, 21))
+
+                    k.if_(is_mul, fold_mul, fold_misc)
+
+                k.if_(is_add, fold_add, other)
+        # Liveness update pass: scattered increments.
+        with k.loop(n) as i:
+            with k.temps():
+                reg = k.ld(operands, i)
+                cur = k.ld(k.const(live.base), reg)
+                k.st(k.const(live.base), reg, k.add(cur, 1))
+        k.halt()
+    return k
+
+
+@workload("458.sjeng", "specint", "board scan with attack tests")
+def sjeng(scale):
+    k = KernelBuilder("sjeng")
+    board = 64
+    passes = scaled(24, scale, minimum=6)
+    squares = k.array("squares", idata("sjeng", board, low=0, high=12))
+    attack = k.array("attack", idata("sjeng", board, low=0, high=1,
+                                     salt=1))
+    score_out = k.array("score_out", passes)
+    with k.function("main"):
+        with k.loop(passes) as p:
+            score = k.var(0)
+            with k.loop(board) as sq:
+                with k.temps():
+                    piece = k.ld(squares, sq)
+                    occupied = k.slt(0, piece)
+
+                    def then_fn():
+                        att = k.ld(attack, sq)
+                        threatened = k.seq(att, 1)
+
+                        def inner_then():
+                            k.set(score, k.sub(score, piece))
+
+                        def inner_else():
+                            k.set(score, k.add(score, piece))
+
+                        k.if_(threatened, inner_then, inner_else)
+
+                    k.if_(occupied, then_fn)
+            k.st(score_out, p, score)
+        k.halt()
+    return k
+
+
+@workload("473.astar", "specint", "grid expansion with open-list updates")
+def astar(scale):
+    k = KernelBuilder("astar")
+    n = scaled(128, scale, minimum=32)
+    width = 16
+    gcost = k.array("gcost", idata("astar", n + width + 1,
+                                   low=0, high=90))
+    hcost = k.array("hcost", idata("astar", n + width + 1,
+                                   low=0, high=90, salt=1))
+    best = k.array("best", n)
+    with k.function("main"):
+        with k.loop(n) as c:
+            with k.temps():
+                here = k.add(k.ld(gcost, c), k.ld(hcost, c))
+                right = k.add(k.ld(gcost, k.add(c, 1)),
+                              k.ld(hcost, k.add(c, 1)))
+                down = k.add(k.ld(gcost, k.add(c, width)),
+                             k.ld(hcost, k.add(c, width)))
+                cand = k.min_(right, down)
+                improve = k.slt(cand, here)   # unpredictable
+
+                def then_fn():
+                    k.st(best, c, cand)
+
+                def else_fn():
+                    k.st(best, c, here)
+
+                k.if_(improve, then_fn, else_fn)
+        k.halt()
+    return k
+
+
+@workload("456.hmmer", "specint", "P7Viterbi DP row (max-add chains)")
+def hmmer(scale):
+    k = KernelBuilder("hmmer")
+    states = scaled(64, scale, minimum=16)
+    rows = 12
+    match = k.array("match", idata("hmmer", rows * states,
+                                   low=-10, high=10))
+    mmx = k.array("mmx", [0] * (states + 1))
+    imx = k.array("imx", [0] * (states + 1))
+    with k.function("main"):
+        with k.loop(rows) as r:
+            mbase = k.mul(r, states)
+            with k.loop(states) as s:
+                with k.temps():
+                    prev_m = k.ld(k.const(mmx.base), s)
+                    prev_i = k.ld(k.const(imx.base), s)
+                    e = k.ld(k.const(match.base), k.add(mbase, s))
+                    best = k.max_(k.add(prev_m, e),
+                                  k.add(prev_i, e))
+                    k.st(k.const(mmx.base), k.add(s, 1), best)
+                    k.st(k.const(imx.base), k.add(s, 1),
+                         k.max_(best, prev_i))
+        k.halt()
+    return k
+
+
+@workload("445.gobmk", "specint", "Go pattern matching on board")
+def gobmk(scale):
+    k = KernelBuilder("gobmk")
+    board = 81
+    patterns = scaled(12, scale, minimum=4)
+    stones = k.array("stones", idata("gobmk", board + 10,
+                                     low=0, high=2))
+    pat = k.array("pat", idata("gobmk", patterns * 4, low=0, high=2,
+                               salt=1))
+    matches = k.array("matches", patterns)
+    with k.function("main"):
+        with k.loop(patterns) as p:
+            pbase = k.mul(p, 4)
+            count = k.var(0)
+            with k.loop(board - 10) as sq:
+                with k.temps():
+                    ok = k.var(1)
+                    for d, off in enumerate((0, 1, 9, 10)):
+                        s = k.ld(k.const(stones.base), k.add(sq, off))
+                        want = k.ld(k.const(pat.base), k.add(pbase, d))
+                        k.set(ok, k.and_(ok, k.seq(s, want)))
+                    hit = k.seq(ok, 1)   # rare
+
+                    def then_fn():
+                        k.set(count, k.add(count, 1))
+
+                    k.if_(hit, then_fn)
+            k.st(matches, p, count)
+        k.halt()
+    return k
+
+
+@workload("464.h264ref", "specint", "motion SAD + mode decision phases")
+def h264ref(scale):
+    k = KernelBuilder("h264ref")
+    mbs = scaled(10, scale, minimum=3)
+    mb = 16
+    cur = k.array("cur", fdata("h264ref", mbs * mb, low=0.0, high=255.0))
+    ref = k.array("ref", fdata("h264ref", mbs * mb + 8,
+                               low=0.0, high=255.0, salt=1))
+    sads = k.array("sads", mbs * 8)
+    modes = k.array("modes", mbs)
+    bits = k.array("bits", idata("h264ref", mbs * mb, low=0, high=7,
+                                 salt=2))
+    stream_out = k.array("stream_out", mbs * mb)
+    with k.function("main"):
+        # Phase 1: dense SAD search (very data parallel).
+        with k.loop(mbs) as m:
+            base = k.mul(m, mb)
+            with k.loop(8) as cand:
+                acc = k.var(0.0)
+                with k.loop(mb) as x:
+                    with k.temps():
+                        c = k.ld(k.const(cur.base), k.add(base, x))
+                        r = k.ld(k.const(ref.base),
+                                 k.add(k.add(base, x), cand))
+                        d = k.fsub(c, r)
+                        k.set(acc, k.fadd(acc,
+                                          k.fmax(d, k.fsub(0.0, d))))
+                k.st(k.const(sads.base), k.add(k.mul(m, 8), cand), acc)
+        # Phase 2: mode decision (branchy, data-dependent).
+        with k.loop(mbs) as m:
+            with k.temps():
+                sbase = k.mul(m, 8)
+                best = k.var(1e30)
+                arg = k.var(0)
+                with k.loop(8) as cand:
+                    with k.temps():
+                        s = k.ld(k.const(sads.base), k.add(sbase, cand))
+                        better = k.fslt(s, best)
+
+                        def then_fn():
+                            k.set(best, k.fmin(best, s))
+                            k.set(arg, k.add(cand, 0))
+
+                        k.if_(better, then_fn)
+                k.st(modes, m, arg)
+        # Phase 3: CAVLC-ish serial bit packing (irregular).
+        pos = k.var(0)
+        with k.loop(mbs * mb) as i:
+            with k.temps():
+                b = k.ld(bits, i)
+                long_code = k.slt(5, b)   # rare
+
+                def then_fn():
+                    k.st(stream_out, pos, k.add(b, 8))
+                    k.set(pos, k.add(pos, 2))
+
+                def else_fn():
+                    k.st(stream_out, pos, b)
+                    k.set(pos, k.add(pos, 1))
+
+                k.if_(long_code, then_fn, else_fn)
+        k.halt()
+    return k

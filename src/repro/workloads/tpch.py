@@ -1,0 +1,88 @@
+"""TPC-H-style query kernels (semi-regular database behavior).
+
+Q1 is a scan with predicated aggregation (SIMD-with-masks friendly);
+Q2 is a selective join probe: indirect lookups plus data-dependent
+branching (irregular memory, modest bias).
+"""
+
+from repro.programs.builder import KernelBuilder
+from repro.workloads.base import workload, fdata, idata, rng, scaled
+
+
+@workload("tpch1", "tpch", "Q1: scan + predicated aggregation")
+def tpch1(scale):
+    k = KernelBuilder("tpch1")
+    rows = scaled(512, scale, minimum=64, multiple=8)
+    qty = k.array("qty", fdata("tpch1", rows, low=1.0, high=50.0))
+    price = k.array("price", fdata("tpch1", rows, low=1.0, high=100.0,
+                                   salt=1))
+    disc = k.array("disc", fdata("tpch1", rows, low=0.0, high=0.1,
+                                 salt=2))
+    flags = k.array("flags", idata("tpch1", rows, low=0, high=3, salt=3))
+    sums = k.array("sums", 4)
+    with k.function("main"):
+        sum_qty = k.var(0.0)
+        sum_base = k.var(0.0)
+        sum_disc = k.var(0.0)
+        count = k.var(0.0)
+        with k.loop(rows) as i:
+            with k.temps():
+                f = k.ld(flags, i)
+                keep = k.slt(f, 3)     # ~75% selectivity
+
+                def then_fn():
+                    q = k.ld(qty, i)
+                    p = k.ld(price, i)
+                    d = k.ld(disc, i)
+                    k.set(sum_qty, k.fadd(sum_qty, q))
+                    k.set(sum_base, k.fadd(sum_base, k.fmul(q, p)))
+                    k.set(sum_disc, k.fadd(
+                        sum_disc, k.fmul(k.fmul(q, p), k.fsub(1.0, d))))
+                    k.set(count, k.fadd(count, 1.0))
+
+                k.if_(keep, then_fn)
+        k.st(sums, 0, sum_qty)
+        k.st(sums, 1, sum_base)
+        k.st(sums, 2, sum_disc)
+        k.st(sums, 3, count)
+        k.halt()
+    return k
+
+
+@workload("tpch2", "tpch", "Q2: selective join probe (indirect lookups)")
+def tpch2(scale):
+    k = KernelBuilder("tpch2")
+    parts = scaled(256, scale, minimum=32)
+    suppliers = 64
+    source = rng("tpch2")
+    supp_of = k.array(
+        "supp_of", [source.randrange(suppliers) for _ in range(parts)])
+    cost = k.array("cost", fdata("tpch2", parts, low=1.0, high=9.0))
+    supp_region = k.array(
+        "supp_region", idata("tpch2", suppliers, low=0, high=4, salt=1))
+    best_cost = k.array("best_cost", 1)
+    best_part = k.array("best_part", 1)
+    with k.function("main"):
+        best = k.var(1e30)
+        best_idx = k.var(-1)
+        with k.loop(parts) as p:
+            with k.temps():
+                s = k.ld(supp_of, p)                       # probe
+                region = k.ld(k.const(supp_region.base), s)  # gather
+                in_region = k.seq(region, 2)   # ~20% selectivity
+
+                def then_fn():
+                    c = k.ld(cost, p)
+                    cheaper = k.fslt(c, best)
+
+                    def inner_then():
+                        k.set(best, k.fmin(best, c))
+                        k.set(best_idx, k.add(p, 0))
+
+                    k.if_(cheaper, inner_then)
+
+                k.if_(in_region, then_fn)
+        k.st(best_cost, 0, best)
+        k.st(best_part, 0, best_idx)
+        k.halt()
+    return k

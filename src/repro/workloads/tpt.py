@@ -1,0 +1,186 @@
+"""Intel TPT-style throughput microbenchmarks (highly regular).
+
+These mirror the workloads DySER was evaluated on: small, hot,
+data-parallel kernels with varying amounts of control and
+memory/compute separability.
+"""
+
+from repro.programs.builder import KernelBuilder
+from repro.workloads.base import workload, fdata, idata, scaled
+
+
+@workload("conv", "tpt", "1D convolution with a 5-tap filter")
+def conv(scale):
+    k = KernelBuilder("conv")
+    n = scaled(512, scale, minimum=32, multiple=8)
+    taps = 5
+    src = k.array("src", fdata("conv", n + taps))
+    weights = k.array("weights", fdata("conv", taps, salt=1))
+    dst = k.array("dst", n)
+    with k.function("main"):
+        wvals = [k.ld(weights, t) for t in range(taps)]
+        with k.loop(n) as i:
+            acc = k.fmul(k.ld(src, i), wvals[0])
+            for t in range(1, taps):
+                v = k.ld(src, k.add(i, t))
+                acc = k.fadd(acc, k.fmul(v, wvals[t]))
+            k.st(dst, i, acc)
+        k.halt()
+    return k
+
+
+@workload("merge", "tpt", "merge of two sorted arrays (data-dependent control)")
+def merge(scale):
+    k = KernelBuilder("merge")
+    n = scaled(384, scale, minimum=32)
+    left = k.array("left", sorted(fdata("merge", n)))
+    right = k.array("right", sorted(fdata("merge", n, salt=1)))
+    out = k.array("out", 2 * n)
+    with k.function("main"):
+        li = k.var(0)
+        ri = k.var(0)
+        with k.loop(2 * n) as oi:
+            lv = k.ld(k.const(left.base), li)
+            rv = k.ld(k.const(right.base), ri)
+            take_left_a = k.fslt(lv, rv)
+            bound = k.slt(li, n)
+            not_right = k.seq(k.slt(ri, n), 0)
+            take_left = k.or_(k.and_(take_left_a, bound), not_right)
+
+            def then_fn():
+                k.st(out, oi, lv)
+                k.set(li, k.add(li, 1))
+
+            def else_fn():
+                k.st(out, oi, rv)
+                k.set(ri, k.add(ri, 1))
+
+            k.if_(take_left, then_fn, else_fn)
+        k.halt()
+    return k
+
+
+@workload("nbody", "tpt", "all-pairs gravity step (heavy FP, separable)")
+def nbody(scale):
+    k = KernelBuilder("nbody")
+    n = scaled(40, scale, minimum=8)
+    px = k.array("px", fdata("nbody", n))
+    py = k.array("py", fdata("nbody", n, salt=1))
+    mass = k.array("mass", fdata("nbody", n, low=0.5, high=2.0, salt=2))
+    fx = k.array("fx", n)
+    fy = k.array("fy", n)
+    with k.function("main"):
+        with k.loop(n) as i:
+            xi = k.ld(px, i)
+            yi = k.ld(py, i)
+            ax = k.var(0.0)
+            ay = k.var(0.0)
+            with k.loop(n) as j:
+                xj = k.ld(px, j)
+                yj = k.ld(py, j)
+                mj = k.ld(mass, j)
+                dx = k.fsub(xj, xi)
+                dy = k.fsub(yj, yi)
+                r2 = k.fadd(k.fadd(k.fmul(dx, dx), k.fmul(dy, dy)), 0.01)
+                inv = k.fdiv(mj, k.fmul(r2, k.fsqrt(r2)))
+                k.set(ax, k.fadd(ax, k.fmul(dx, inv)))
+                k.set(ay, k.fadd(ay, k.fmul(dy, inv)))
+            k.st(fx, i, ax)
+            k.st(fy, i, ay)
+        k.halt()
+    return k
+
+
+@workload("radar", "tpt", "complex FIR (radar front-end)")
+def radar(scale):
+    k = KernelBuilder("radar")
+    n = scaled(384, scale, minimum=32, multiple=8)
+    taps = 4
+    sig_re = k.array("sig_re", fdata("radar", n + taps))
+    sig_im = k.array("sig_im", fdata("radar", n + taps, salt=1))
+    coef_re = k.array("coef_re", fdata("radar", taps, salt=2))
+    coef_im = k.array("coef_im", fdata("radar", taps, salt=3))
+    out_re = k.array("out_re", n)
+    out_im = k.array("out_im", n)
+    with k.function("main"):
+        cr = [k.ld(coef_re, t) for t in range(taps)]
+        ci = [k.ld(coef_im, t) for t in range(taps)]
+        with k.loop(n) as i:
+            acc_re = k.var(0.0)
+            acc_im = k.var(0.0)
+            for t in range(taps):
+                with k.temps():
+                    idx = k.add(i, t)
+                    sr = k.ld(sig_re, idx)
+                    si = k.ld(sig_im, idx)
+                    re = k.fsub(k.fmul(sr, cr[t]), k.fmul(si, ci[t]))
+                    im = k.fadd(k.fmul(sr, ci[t]), k.fmul(si, cr[t]))
+                    k.set(acc_re, k.fadd(acc_re, re))
+                    k.set(acc_im, k.fadd(acc_im, im))
+            k.st(out_re, i, acc_re)
+            k.st(out_im, i, acc_im)
+        k.halt()
+    return k
+
+
+@workload("treesearch", "tpt", "batched binary-tree lookups (pointer chasing)")
+def treesearch(scale):
+    k = KernelBuilder("treesearch")
+    depth = 10
+    nodes = (1 << depth) - 1
+    queries = scaled(192, scale, minimum=16)
+    # Implicit heap layout: children of i at 2i+1 / 2i+2.
+    keys = k.array("keys", idata("treesearch", nodes, low=0, high=1000))
+    qs = k.array("qs", idata("treesearch", queries, low=0, high=1000,
+                             salt=1))
+    found = k.array("found", queries)
+    with k.function("main"):
+        with k.loop(queries) as q:
+            target = k.ld(qs, q)
+            node = k.var(0)
+            result = k.var(0)
+            with k.loop(depth - 1):
+                key = k.ld(k.const(keys.base), node)
+                went = k.slt(key, target)
+
+                def then_fn():
+                    # key < target: go right.
+                    k.set(node, k.add(k.mul(node, 2), 2))
+
+                def else_fn():
+                    k.set(result, k.add(result, 1))
+                    k.set(node, k.add(k.mul(node, 2), 1))
+
+                k.if_(went, then_fn, else_fn)
+            k.st(found, q, result)
+        k.halt()
+    return k
+
+
+@workload("vr", "tpt", "volume-rendering ray accumulation (predication)")
+def vr(scale):
+    k = KernelBuilder("vr")
+    rays = scaled(96, scale, minimum=8)
+    steps = 24
+    volume = k.array(
+        "volume", fdata("vr", rays * steps, low=0.0, high=1.0))
+    image = k.array("image", rays)
+    with k.function("main"):
+        with k.loop(rays) as r:
+            base = k.mul(r, steps)
+            color = k.var(0.0)
+            opacity = k.var(0.0)
+            with k.loop(steps) as s:
+                sample = k.ld(k.const(volume.base), k.add(base, s))
+                visible = k.fslt(sample, 0.7)   # mostly-taken branch
+
+                def then_fn():
+                    contrib = k.fmul(sample, k.fsub(1.0, opacity))
+                    k.set(color, k.fadd(color, contrib))
+                    k.set(opacity,
+                          k.fadd(opacity, k.fmul(sample, 0.05)))
+
+                k.if_(visible, then_fn)
+            k.st(image, r, color)
+        k.halt()
+    return k

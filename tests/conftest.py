@@ -1,0 +1,103 @@
+"""Shared fixtures: small kernels and cached TDGs."""
+
+import pytest
+
+from repro.programs import KernelBuilder
+from repro.tdg import construct_tdg
+
+
+def build_vector_kernel(n=128, passes=2):
+    """Vectorizable streaming kernel: c[i] = a[i]*b[i] + 3."""
+    k = KernelBuilder("vec")
+    a = k.array("a", [float(i % 9) for i in range(n)])
+    b = k.array("b", [1.5] * n)
+    c = k.array("c", n)
+    with k.function("main"):
+        with k.loop(passes):
+            with k.loop(n) as i:
+                av = k.ld(a, i)
+                bv = k.ld(b, i)
+                t = k.fmul(av, bv)
+                k.st(c, i, k.fadd(t, 3.0))
+        k.halt()
+    return k.build()
+
+
+def build_branchy_kernel(n=256, threshold=11.0):
+    """Biased-control reduction kernel (hot path ~85%)."""
+    k = KernelBuilder("branchy")
+    a = k.array("a", [float((i * 7) % 13) for i in range(n)])
+    out = k.array("out", 1)
+    with k.function("main"):
+        acc = k.var(0.0)
+        with k.loop(n) as i:
+            v = k.ld(a, i)
+            cond = k.fslt(v, threshold)
+
+            def then_fn():
+                k.set(acc, k.fadd(acc, k.fmul(v, 2.0)))
+
+            def else_fn():
+                k.set(acc, k.fsub(acc, v))
+
+            k.if_(cond, then_fn, else_fn)
+        k.st(out, 0, acc)
+        k.halt()
+    return k.build()
+
+
+def build_reduction_kernel(n=128):
+    """Dot-product style reduction (vectorizable with reduction)."""
+    k = KernelBuilder("dot")
+    a = k.array("a", [float(i % 5) for i in range(n)])
+    b = k.array("b", [2.0] * n)
+    out = k.array("out", 1)
+    with k.function("main"):
+        acc = k.var(0.0)
+        with k.loop(n) as i:
+            k.set(acc, k.fadd(acc, k.fmul(k.ld(a, i), k.ld(b, i))))
+        k.st(out, 0, acc)
+        k.halt()
+    return k.build()
+
+
+def build_nested_kernel(n=24, m=16):
+    """Nested loop (outer-offloadable, NS-DF target)."""
+    k = KernelBuilder("nested")
+    a = k.array("a", [float(i % 7) for i in range(n * m)])
+    out = k.array("out", n)
+    with k.function("main"):
+        with k.loop(n) as i:
+            base = k.mul(i, m)
+            acc = k.var(0.0)
+            with k.loop(m) as j:
+                with k.temps():
+                    v = k.ld(k.const(a.base), k.add(base, j))
+                    k.set(acc, k.fadd(acc, v))
+            k.st(out, i, acc)
+        k.halt()
+    return k.build()
+
+
+@pytest.fixture(scope="session")
+def vector_tdg():
+    program, memory = build_vector_kernel()
+    return construct_tdg(program, memory)
+
+
+@pytest.fixture(scope="session")
+def branchy_tdg():
+    program, memory = build_branchy_kernel()
+    return construct_tdg(program, memory)
+
+
+@pytest.fixture(scope="session")
+def reduction_tdg():
+    program, memory = build_reduction_kernel()
+    return construct_tdg(program, memory)
+
+
+@pytest.fixture(scope="session")
+def nested_tdg():
+    program, memory = build_nested_kernel()
+    return construct_tdg(program, memory)

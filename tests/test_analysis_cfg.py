@@ -1,0 +1,100 @@
+"""Unit tests for CFG analyses: RPO, dominators, back edges."""
+
+from repro.analysis.cfg import reverse_post_order, dominators, back_edges
+from repro.isa import Instruction, Opcode
+from repro.programs import Program, assemble
+
+DIAMOND = """
+.func main
+entry:
+    li r3, 1
+    br r3, left
+right:
+    li r4, 2
+    jmp join
+left:
+    li r4, 3
+join:
+    halt
+"""
+
+LOOP = """
+.func main
+entry:
+    li r3, 0
+body:
+    add r3, r3, 1
+    slt r4, r3, 5
+    br r4, body
+exit:
+    halt
+"""
+
+
+class TestReversePostOrder:
+    def test_entry_first(self):
+        program = assemble(DIAMOND)
+        order = reverse_post_order(program.main)
+        assert order[0] == "entry"
+
+    def test_join_after_branches(self):
+        program = assemble(DIAMOND)
+        order = reverse_post_order(program.main)
+        assert order.index("join") > order.index("left")
+        assert order.index("join") > order.index("right")
+
+    def test_unreachable_excluded(self):
+        program = assemble("""
+.func main
+entry:
+    halt
+dead:
+    halt
+""")
+        order = reverse_post_order(program.main)
+        assert "dead" not in order
+
+    def test_loop_visits_all(self):
+        program = assemble(LOOP)
+        assert set(reverse_post_order(program.main)) == \
+            {"entry", "body", "exit"}
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        program = assemble(DIAMOND)
+        dom = dominators(program.main)
+        for label, doms in dom.items():
+            assert "entry" in doms
+
+    def test_branch_arms_do_not_dominate_join(self):
+        program = assemble(DIAMOND)
+        dom = dominators(program.main)
+        assert "left" not in dom["join"]
+        assert "right" not in dom["join"]
+
+    def test_self_domination(self):
+        program = assemble(DIAMOND)
+        dom = dominators(program.main)
+        for label, doms in dom.items():
+            assert label in doms
+
+    def test_loop_header_dominates_latch(self):
+        program = assemble(LOOP)
+        dom = dominators(program.main)
+        assert "body" in dom["body"]
+        assert "entry" in dom["body"]
+
+
+class TestBackEdges:
+    def test_simple_loop_back_edge(self):
+        program = assemble(LOOP)
+        assert back_edges(program.main) == [("body", "body")]
+
+    def test_diamond_has_no_back_edges(self):
+        program = assemble(DIAMOND)
+        assert back_edges(program.main) == []
+
+    def test_nested_loops_two_back_edges(self, nested_tdg):
+        edges = back_edges(nested_tdg.program.main)
+        assert len(edges) == 2

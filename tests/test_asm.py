@@ -1,0 +1,181 @@
+"""Unit tests for the assembler / disassembler."""
+
+import pytest
+
+from repro.isa import Opcode
+from repro.programs import assemble, disassemble
+from repro.programs.asm import AsmError
+from repro.sim import run_program
+
+SIMPLE = """
+.func main
+entry:
+    li   r3, 0
+    li   r5, 0
+loop:
+    add  r5, r5, r3
+    add  r3, r3, 1
+    slt  r4, r3, 10
+    br   r4, loop
+done:
+    st   r5, [r0+100]
+    halt
+"""
+
+
+class TestAssemble:
+    def test_simple_program_runs(self):
+        program = assemble(SIMPLE)
+        trace = run_program(program)
+        assert trace.memory[100] == sum(range(10))
+
+    def test_block_structure(self):
+        program = assemble(SIMPLE)
+        labels = [b.label for b in program.main.blocks]
+        assert labels == ["entry", "loop", "done"]
+
+    def test_memory_operand_forms(self):
+        program = assemble("""
+.func main
+    li r3, 7
+    st r3, [r0+50]
+    ld r4, [r0+50]
+    st r4, [r0]
+    halt
+""")
+        trace = run_program(program)
+        assert trace.memory[50] == 7
+        assert trace.memory[0] == 7
+
+    def test_store_operand_order_flexible(self):
+        p1 = assemble(".func main\n st r3, [r4+8]\n halt")
+        p2 = assemble(".func main\n st [r4+8], r3\n halt")
+        i1 = p1.instruction(0)
+        i2 = p2.instruction(0)
+        assert i1.srcs == i2.srcs == (4, 3)
+        assert i1.imm == i2.imm == 8
+
+    def test_float_immediates(self):
+        program = assemble("""
+.func main
+    li r3, 2.5
+    fmul r4, r3, r3
+    st r4, [r0+0]
+    halt
+""")
+        trace = run_program(program)
+        assert trace.memory[0] == 6.25
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+# full-line comment
+.func main
+
+    li r3, 1   # trailing comment
+    halt
+""")
+        assert len(program) == 2
+
+    def test_implicit_entry_block(self):
+        program = assemble(".func main\n halt")
+        assert program.main.entry.label == "main_entry"
+
+    def test_multiple_functions(self):
+        program = assemble("""
+.func helper
+    li r10, 9
+    ret
+.func main
+    call helper
+    st r10, [r0+0]
+    halt
+""")
+        trace = run_program(program)
+        assert trace.memory[0] == 9
+
+
+class TestAsmErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble(".func main\n frobnicate r1, r2")
+
+    def test_code_before_func(self):
+        with pytest.raises(AsmError, match="before .func"):
+            assemble("li r3, 1")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble(".func main\n add r3, r4")
+
+    def test_bad_register(self):
+        with pytest.raises((AsmError, ValueError)):
+            assemble(".func main\n li r99, 1")
+
+    def test_branch_needs_label(self):
+        with pytest.raises(AsmError):
+            assemble(".func main\n br r3, r4")
+
+    def test_bad_label(self):
+        with pytest.raises(AsmError, match="bad label"):
+            assemble(".func main\n 1bad:\n halt")
+
+    def test_bad_func_directive(self):
+        with pytest.raises(AsmError):
+            assemble(".func a b\n halt")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble_identical_behavior(self):
+        program = assemble(SIMPLE)
+        text = disassemble(program)
+        program2 = assemble(text)
+        t1 = run_program(program)
+        t2 = run_program(program2)
+        assert len(t1) == len(t2)
+        assert t1.memory[100] == t2.memory[100]
+
+    def test_round_trip_of_builder_output(self, vector_tdg):
+        text = disassemble(vector_tdg.program)
+        program2 = assemble(text)
+        assert len(program2) == len(vector_tdg.program)
+        opcodes1 = [i.opcode for i in vector_tdg.program
+                    .static_instructions]
+        opcodes2 = [i.opcode for i in program2.static_instructions]
+        assert opcodes1 == opcodes2
+
+    def test_every_scalar_opcode_formats(self):
+        # Disassembly must render anything the builder can emit.
+        source = """
+.func main
+    li r3, 5
+    mov r4, r3
+    add r5, r3, r4
+    sub r5, r5, 1
+    mul r6, r5, r4
+    div r7, r6, r3
+    and r8, r7, 3
+    or  r8, r8, r3
+    xor r8, r8, r4
+    shl r9, r3, 2
+    shr r9, r9, 1
+    slt r10, r3, r4
+    seq r11, r3, r4
+    min r12, r3, r4
+    max r13, r3, r4
+    fadd r14, r3, r4
+    fsub r14, r14, r3
+    fmul r15, r14, r14
+    fdiv r15, r15, r3
+    fsqrt r16, r15
+    fmin r17, r15, r3
+    fmax r18, r15, r3
+    fslt r19, r3, r4
+    ld r20, [r0+8]
+    st r20, [r0+16]
+    nop
+    halt
+"""
+        program = assemble(source)
+        text = disassemble(program)
+        program2 = assemble(text)
+        assert len(program2) == len(program)

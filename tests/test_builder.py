@@ -1,0 +1,298 @@
+"""Unit tests for the KernelBuilder DSL."""
+
+import pytest
+
+from repro.isa import Opcode
+from repro.programs import KernelBuilder
+from repro.sim import run_program
+
+
+def run_kernel(kernel):
+    program, memory = kernel.build()
+    return run_program(program, memory)
+
+
+class TestArrays:
+    def test_arrays_are_line_aligned(self):
+        k = KernelBuilder("t")
+        a = k.array("a", [1.0] * 5)
+        b = k.array("b", [2.0] * 3)
+        assert a.base % 8 == 0
+        assert b.base % 8 == 0
+        assert b.base >= a.base + 5
+
+    def test_array_by_size(self):
+        k = KernelBuilder("t")
+        a = k.array("a", 10)
+        assert len(a) == 10
+        assert k.memory[a.base:a.base + 10] == [0] * 10
+
+    def test_duplicate_array_name(self):
+        k = KernelBuilder("t")
+        k.array("a", 4)
+        with pytest.raises(ValueError):
+            k.array("a", 4)
+
+
+class TestExpressions:
+    def test_arithmetic_computes(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 4)
+        with k.function("main"):
+            x = k.const(10)
+            y = k.const(3)
+            k.st(out, 0, k.add(x, y))
+            k.st(out, 1, k.sub(x, y))
+            k.st(out, 2, k.mul(x, y))
+            k.st(out, 3, k.div(x, y))
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base:out.base + 4] == [13, 7, 30, 3]
+
+    def test_immediate_operands(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 2)
+        with k.function("main"):
+            x = k.const(5)
+            k.st(out, 0, k.add(x, 100))
+            k.st(out, 1, k.shl(x, 2))
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base:out.base + 2] == [105, 20]
+
+    def test_constant_on_left_materialized(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            x = k.const(4)
+            k.st(out, 0, k.sub(20, x))   # non-commutative
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 16
+
+    def test_val_operator_sugar(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            x = k.const(6)
+            y = k.const(7)
+            k.st(out, 0, x * y + x - y)
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 41
+
+    def test_fp_ops(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 3)
+        with k.function("main"):
+            x = k.const(2.0)
+            k.st(out, 0, k.fmul(x, 3.5))
+            k.st(out, 1, k.fsqrt(k.const(16.0)))
+            k.st(out, 2, k.fmax(x, 9.0))
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base:out.base + 3] == [7.0, 4.0, 9.0]
+
+    def test_needs_val_operand(self):
+        k = KernelBuilder("t")
+        with k.function("main"):
+            with pytest.raises(TypeError):
+                k.add(1, 2)
+            k.halt()
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 8)
+        with k.function("main"):
+            with k.loop(8) as i:
+                k.st(out, i, k.mul(i, i))
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base:out.base + 8] == \
+            [i * i for i in range(8)]
+
+    def test_loop_start_and_step(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            acc = k.var(0)
+            with k.loop(10, start=2, step=2) as i:
+                k.set(acc, k.add(acc, i))
+            k.st(out, 0, acc)
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 2 + 4 + 6 + 8
+
+    def test_nested_loops(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            acc = k.var(0)
+            with k.loop(4):
+                with k.loop(5):
+                    k.set(acc, k.add(acc, 1))
+            k.st(out, 0, acc)
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 20
+
+    def test_if_else(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 2)
+        with k.function("main"):
+            cond = k.slt(k.const(1), 2)   # true
+
+            def then_fn():
+                k.st(out, 0, 111)
+
+            def else_fn():
+                k.st(out, 0, 222)
+
+            k.if_(cond, then_fn, else_fn)
+            cond2 = k.slt(k.const(5), 2)  # false
+            k.if_(cond2, lambda: k.st(out, 1, 111),
+                  lambda: k.st(out, 1, 222))
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base:out.base + 2] == [111, 222]
+
+    def test_if_without_else(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            k.st(out, 0, 5)
+            cond = k.seq(k.const(1), 1)
+            k.if_(cond, lambda: k.st(out, 0, 9))
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 9
+
+    def test_while_loop(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            x = k.var(1)
+
+            def cond():
+                return k.slt(x, 100)
+
+            with k.while_(cond):
+                k.set(x, k.mul(x, 2))
+            k.st(out, 0, x)
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 128
+
+    def test_break(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("main"):
+            acc = k.var(0)
+            with k.loop(100) as i:
+                k.set(acc, k.add(acc, 1))
+                done = k.seq(i, 4)
+                k.if_(done, k.break_)
+            k.st(out, 0, acc)
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 5
+
+    def test_break_outside_loop_fails(self):
+        k = KernelBuilder("t")
+        with k.function("main"):
+            with pytest.raises(RuntimeError):
+                k.break_()
+            k.halt()
+
+    def test_call_and_ret(self):
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        with k.function("helper"):
+            k.st(out, 0, 42)
+            k.ret()
+        with k.function("main"):
+            k.call("helper")
+            k.halt()
+        trace = run_kernel(k)
+        assert trace.memory[out.base] == 42
+
+
+class TestRegisterManagement:
+    def test_register_exhaustion_raises(self):
+        k = KernelBuilder("t")
+        with k.function("main"):
+            with pytest.raises(RuntimeError, match="ran out"):
+                for _ in range(100):
+                    k.const(1)
+
+    def test_temps_recycles_registers(self):
+        k = KernelBuilder("t")
+        with k.function("main"):
+            for _ in range(100):
+                with k.temps():
+                    k.const(1)
+                    k.const(2)
+            k.halt()   # no exhaustion
+
+    def test_functions_reset_allocation(self):
+        k = KernelBuilder("t")
+        with k.function("helper"):
+            for _ in range(20):
+                k.const(1)
+            k.ret()
+        with k.function("main"):
+            for _ in range(30):
+                k.const(1)
+            k.halt()   # no exhaustion
+
+    def test_callee_register_window_disjoint(self):
+        """Callees allocate a disjoint register range, so calls don't
+        clobber caller loop state."""
+        k = KernelBuilder("t")
+        out = k.array("out", 1)
+        counter = k.array("counter", 1)
+        with k.function("helper"):
+            v = k.ld(counter, 0)
+            k.st(counter, 0, k.add(v, 1))
+            k.ret()
+        with k.function("main"):
+            with k.loop(10):
+                k.call("helper")
+            k.st(out, 0, k.ld(counter, 0))
+            k.halt()
+        program, memory = k.build()
+        trace = run_program(program, memory)
+        assert trace.memory[out.base] == 10
+
+    def test_emit_outside_function_fails(self):
+        k = KernelBuilder("t")
+        with pytest.raises(RuntimeError):
+            k.emit(Opcode.NOP)
+
+    def test_functions_cannot_nest(self):
+        k = KernelBuilder("t")
+        with k.function("main"):
+            with pytest.raises(ValueError):
+                with k.function("inner"):
+                    pass
+            k.halt()
+
+
+class TestLoopShape:
+    def test_do_while_layout_back_branch(self):
+        """The loop latch is a taken-biased backward br (hot-trace
+        shape the BSAs rely on)."""
+        k = KernelBuilder("t")
+        with k.function("main"):
+            with k.loop(10):
+                k.const(1)
+            k.halt()
+        program, memory = k.build()
+        branches = [i for i in program.static_instructions
+                    if i.opcode is Opcode.BR]
+        assert len(branches) == 1
+        trace = run_program(program, memory)
+        taken = trace.branch_outcomes[branches[0].uid]
+        assert taken[1] == 9 and taken[0] == 1

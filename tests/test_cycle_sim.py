@@ -1,0 +1,96 @@
+"""Tests for the cycle-level reference simulator and its agreement
+with the TDG engine (the substance of paper Table 1's core rows)."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.core_model import IO2, OOO1, OOO2, OOO8
+from repro.sim.cycle_sim import CycleSimulator
+from repro.sim.trace import DynInst
+from repro.tdg import TimingEngine
+
+_STATIC = Instruction(Opcode.ADD, dest=3, srcs=(4,))
+_STATIC.uid = 0
+
+
+def make_inst(seq, opcode=Opcode.ADD, deps=(), **kwargs):
+    return DynInst(seq, _STATIC, opcode, src_deps=deps, **kwargs)
+
+
+class TestCycleSimBasics:
+    def test_independent_ops_hit_width(self):
+        stream = [make_inst(i) for i in range(2000)]
+        result = CycleSimulator(OOO2).run(stream)
+        assert result.ipc == pytest.approx(2.0, rel=0.05)
+
+    def test_serial_chain_ipc_one(self):
+        stream = [make_inst(i, deps=(i - 1,) if i else ())
+                  for i in range(1000)]
+        result = CycleSimulator(OOO8).run(stream)
+        assert result.ipc == pytest.approx(1.0, rel=0.05)
+
+    def test_in_order_slower_on_dependent_code(self, branchy_tdg):
+        # On real dependent code an OOO core of the same width wins.
+        stream = branchy_tdg.trace.instructions
+        io = CycleSimulator(IO2).run(stream)
+        ooo = CycleSimulator(OOO2).run(stream)
+        assert io.cycles > ooo.cycles
+
+    def test_repeated_runs_deterministic(self, vector_tdg):
+        stream = vector_tdg.trace.instructions[:2000]
+        first = CycleSimulator(OOO2).run(stream).cycles
+        second = CycleSimulator(OOO2).run(stream).cycles
+        assert first == second
+
+    def test_empty_stream(self):
+        result = CycleSimulator(OOO2).run([])
+        assert result.cycles == 0
+
+    def test_accel_insts_skipped(self):
+        stream = [make_inst(i) for i in range(10)]
+        stream += [make_inst(100 + i, Opcode.CFU, accel="x")
+                   for i in range(50)]
+        result = CycleSimulator(OOO2).run(stream)
+        assert result.instructions == 10
+
+    def test_mispredict_redirect(self):
+        clean = [make_inst(i) for i in range(500)]
+        br = Instruction(Opcode.BR, srcs=(3,), target="x")
+        br.uid = 1
+        dirty = list(clean)
+        dirty[250] = DynInst(250, br, Opcode.BR, mispredicted=True)
+        r_clean = CycleSimulator(OOO2).run(clean)
+        r_dirty = CycleSimulator(OOO2).run(dirty)
+        assert r_dirty.cycles > r_clean.cycles
+
+
+class TestEngineAgreement:
+    """Cross-validation at microbenchmark level (Table 1 shape)."""
+
+    @pytest.mark.parametrize("config", [IO2, OOO1, OOO2, OOO8])
+    def test_workload_agreement(self, vector_tdg, config):
+        stream = vector_tdg.trace.instructions
+        reference = CycleSimulator(config).run(stream)
+        predicted = TimingEngine(config).run(stream)
+        error = abs(predicted.cycles - reference.cycles) \
+            / reference.cycles
+        assert error < 0.15
+
+    @pytest.mark.parametrize("config", [IO2, OOO2, OOO8])
+    def test_branchy_agreement(self, branchy_tdg, config):
+        stream = branchy_tdg.trace.instructions
+        reference = CycleSimulator(config).run(stream)
+        predicted = TimingEngine(config).run(stream)
+        error = abs(predicted.cycles - reference.cycles) \
+            / reference.cycles
+        assert error < 0.15
+
+    def test_relative_speedup_agreement(self, vector_tdg):
+        """The metric the paper validates: relative speedup between
+        configs, engine vs reference."""
+        stream = vector_tdg.trace.instructions
+        ref_speedup = (CycleSimulator(OOO1).run(stream).cycles
+                       / CycleSimulator(OOO8).run(stream).cycles)
+        pred_speedup = (TimingEngine(OOO1).run(stream).cycles
+                        / TimingEngine(OOO8).run(stream).cycles)
+        assert pred_speedup == pytest.approx(ref_speedup, rel=0.15)

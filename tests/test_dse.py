@@ -1,0 +1,95 @@
+"""Tests for the design-space sweep and report tables."""
+
+import pytest
+
+from repro.dse import (
+    run_sweep, ALL_SUBSETS, subset_label, fig10_table, fig11_table,
+    fig12_table, fig13_table, fig15_table, geomean,
+)
+from repro.dse.report import render_table
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    return run_sweep(names=("conv", "181.mcf", "cjpeg1"), scale=0.25,
+                     max_invocations=4)
+
+
+class TestSubsets:
+    def test_sixteen_subsets(self):
+        assert len(ALL_SUBSETS) == 16
+
+    def test_subset_labels(self):
+        assert subset_label(()) == "-"
+        assert subset_label(("simd",)) == "S"
+        assert subset_label(("simd", "dp_cgra", "ns_df",
+                             "trace_p")) == "SDNT"
+
+    def test_64_design_points(self, mini_sweep):
+        rows = fig12_table(mini_sweep)
+        assert len(rows) == 64
+        assert len({r["design"] for r in rows}) == 64
+
+
+class TestGeomean:
+    def test_geomean_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestSweepResults:
+    def test_all_benchmarks_present(self, mini_sweep):
+        assert len(mini_sweep) == 3
+
+    def test_reference_point_is_unity(self, mini_sweep):
+        rows = fig10_table(mini_sweep)
+        io2_base = [r for r in rows
+                    if r["line"] == "gen-core-only"
+                    and r["core"] == "IO2"][0]
+        assert io2_base["rel_performance"] == pytest.approx(1.0)
+        assert io2_base["rel_energy_eff"] == pytest.approx(1.0)
+
+    def test_full_exocore_dominates_core_only(self, mini_sweep):
+        rows = {(r["line"], r["core"]): r for r in fig10_table(mini_sweep)}
+        for core in mini_sweep.core_names:
+            exo = rows[("exocore-full", core)]
+            base = rows[("gen-core-only", core)]
+            assert exo["rel_performance"] >= base["rel_performance"]
+            assert exo["rel_energy_eff"] >= base["rel_energy_eff"]
+
+    def test_fig11_categories(self, mini_sweep):
+        tables = fig11_table(mini_sweep)
+        assert set(tables) == {"regular", "semiregular", "irregular"}
+
+    def test_fig12_sorted_by_speedup(self, mini_sweep):
+        rows = fig12_table(mini_sweep)
+        speeds = [r["speedup"] for r in rows]
+        assert speeds == sorted(speeds)
+
+    def test_fig12_area_grows_with_bsas(self, mini_sweep):
+        rows = {r["design"]: r for r in fig12_table(mini_sweep)}
+        assert rows["OOO2-SDNT"]["area"] > rows["OOO2--"]["area"]
+
+    def test_fig13_breakdowns_sum(self, mini_sweep):
+        for row in fig13_table(mini_sweep):
+            parts = sum(row[f"time_{u}"] for u in
+                        ("gpp", "simd", "dp_cgra", "ns_df", "trace_p"))
+            assert parts == pytest.approx(row["rel_time"], rel=0.02)
+
+    def test_fig15_mediabench_rows(self, mini_sweep):
+        rows = fig15_table(mini_sweep, suite="mediabench")
+        assert len(rows) == 1    # cjpeg1
+        row = rows[0]
+        assert 0 < row["oracle_time"] <= 1.2
+        assert 0 < row["amdahl_time"]
+
+    def test_render_table(self, mini_sweep):
+        text = render_table(fig12_table(mini_sweep)[:5],
+                            columns=("design", "speedup", "area"))
+        assert "design" in text
+        assert len(text.splitlines()) == 7

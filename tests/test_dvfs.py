@@ -1,0 +1,92 @@
+"""Tests for the DVFS extension (paper section 5.5 design space)."""
+
+import pytest
+
+from repro.core_model import OOO2
+from repro.energy import EnergyModel
+from repro.energy.dvfs import (
+    OperatingPoint, scale_run, energy_optimal_frequency,
+    race_to_idle_comparison, NOMINAL_GHZ, MIN_GHZ, MAX_GHZ,
+)
+from repro.tdg import TimingEngine
+
+
+@pytest.fixture(scope="module")
+def nominal_run(vector_tdg):
+    stream = vector_tdg.trace.instructions
+    result = TimingEngine(OOO2).run(stream)
+    breakdown = EnergyModel(OOO2).evaluate(stream, result.cycles)
+    return result.cycles, breakdown
+
+
+class TestOperatingPoint:
+    def test_nominal_scales_are_unity(self):
+        point = OperatingPoint(NOMINAL_GHZ)
+        assert point.dynamic_energy_scale == pytest.approx(1.0)
+        assert point.leakage_power_scale == pytest.approx(1.0)
+        assert point.time_scale == pytest.approx(1.0)
+
+    def test_frequency_clamped_to_window(self):
+        assert OperatingPoint(10.0).freq_ghz == MAX_GHZ
+        assert OperatingPoint(0.1).freq_ghz == MIN_GHZ
+
+    def test_higher_frequency_costs_energy(self):
+        fast = OperatingPoint(3.2)
+        assert fast.dynamic_energy_scale > 1.0
+        assert fast.time_scale < 1.0
+
+    def test_lower_frequency_saves_dynamic(self):
+        slow = OperatingPoint(1.0)
+        assert slow.dynamic_energy_scale < 1.0
+        assert slow.leakage_energy_per_cycle_scale > 1.0
+
+    def test_explicit_voltage(self):
+        point = OperatingPoint(2.0, vdd=1.0)
+        assert point.vdd == 1.0
+        assert point.dynamic_energy_scale > 1.0
+
+
+class TestScaleRun:
+    def test_faster_clock_shorter_wall_time(self, nominal_run):
+        cycles, breakdown = nominal_run
+        fast = scale_run(cycles, breakdown, OperatingPoint(3.2))
+        slow = scale_run(cycles, breakdown, OperatingPoint(1.0))
+        assert fast[0] < slow[0]     # wall time
+        assert fast[2] > slow[2]     # power
+
+    def test_nominal_energy_matches_breakdown(self, nominal_run):
+        cycles, breakdown = nominal_run
+        _wall, energy, _power = scale_run(
+            cycles, breakdown, OperatingPoint(NOMINAL_GHZ))
+        assert energy == pytest.approx(breakdown.total_pj, rel=0.01)
+
+    def test_dynamic_dominated_runs_prefer_low_frequency(self,
+                                                         nominal_run):
+        cycles, breakdown = nominal_run
+        low = scale_run(cycles, breakdown, OperatingPoint(1.0))
+        high = scale_run(cycles, breakdown, OperatingPoint(3.2))
+        # V^2 savings at the bottom vs V^2 penalty at the top.
+        assert low[1] != high[1]
+
+
+class TestPolicies:
+    def test_energy_optimal_frequency_interior(self, nominal_run):
+        cycles, breakdown = nominal_run
+        best = energy_optimal_frequency(cycles, breakdown)
+        assert MIN_GHZ <= best.freq_ghz <= MAX_GHZ
+
+    def test_race_to_idle_comparison(self, nominal_run):
+        cycles, breakdown = nominal_run
+        comparison = race_to_idle_comparison(cycles, breakdown)
+        assert comparison["race_to_idle"]["wall_ns"] \
+            < comparison["run_slow"]["wall_ns"]
+        assert comparison["run_slow"]["energy_pj"] > 0
+
+    def test_optimum_beats_both_extremes(self, nominal_run):
+        cycles, breakdown = nominal_run
+        best = energy_optimal_frequency(cycles, breakdown)
+        best_energy = scale_run(cycles, breakdown, best)[1]
+        lo = scale_run(cycles, breakdown, OperatingPoint(MIN_GHZ))[1]
+        hi = scale_run(cycles, breakdown, OperatingPoint(MAX_GHZ))[1]
+        assert best_energy <= lo + 1e-9
+        assert best_energy <= hi + 1e-9

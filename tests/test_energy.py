@@ -1,0 +1,185 @@
+"""Unit tests for the energy, SRAM and area models."""
+
+import pytest
+
+from repro.core_model import IO2, OOO2, OOO4, OOO6
+from repro.energy import (
+    EnergyModel, SRAMModel, core_area, accelerator_area, exocore_area,
+)
+from repro.energy.mcpat import EnergyBreakdown
+from repro.isa import Instruction, Opcode
+from repro.sim.trace import DynInst
+
+_STATIC = Instruction(Opcode.ADD, dest=3, srcs=(4,))
+_STATIC.uid = 0
+
+
+def make_inst(seq, opcode=Opcode.ADD, **kwargs):
+    return DynInst(seq, _STATIC, opcode, **kwargs)
+
+
+class TestSRAMModel:
+    def test_energy_grows_with_capacity(self):
+        small = SRAMModel(8)
+        big = SRAMModel(2048)
+        assert big.access_energy_pj > small.access_energy_pj
+
+    def test_energy_grows_with_ports_and_ways(self):
+        base = SRAMModel(64)
+        assert SRAMModel(64, ports=2).access_energy_pj \
+            > base.access_energy_pj
+        assert SRAMModel(64, ways=8).access_energy_pj \
+            > base.access_energy_pj
+
+    def test_area_scales_linearly_with_capacity(self):
+        assert SRAMModel(128).area_mm2 == pytest.approx(
+            2 * SRAMModel(64).area_mm2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SRAMModel(0)
+        with pytest.raises(ValueError):
+            SRAMModel(8, ways=0)
+
+
+class TestEnergyBreakdown:
+    def test_add_and_total(self):
+        b = EnergyBreakdown()
+        b.add("x", 100.0)
+        b.add("x", 50.0)
+        b.add("y", 25.0)
+        assert b.total_pj == 175.0
+        assert b.total_nj == pytest.approx(0.175)
+        assert b.fraction("x") == pytest.approx(150 / 175)
+
+    def test_merge(self):
+        a = EnergyBreakdown()
+        a.add("x", 10.0)
+        b = EnergyBreakdown()
+        b.add("x", 5.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.components == {"x": 15.0, "y": 1.0}
+
+    def test_zero_entries_skipped(self):
+        b = EnergyBreakdown()
+        b.add("x", 0.0)
+        assert "x" not in b.components
+
+
+class TestCoreEnergyScaling:
+    def test_wider_cores_pay_more_per_inst(self):
+        stream = [make_inst(i) for i in range(100)]
+        energies = [EnergyModel(c).evaluate(stream, 100).total_pj
+                    for c in (IO2, OOO2, OOO4, OOO6)]
+        assert energies == sorted(energies)
+
+    def test_in_order_skips_ooo_structures(self):
+        stream = [make_inst(i) for i in range(10)]
+        breakdown = EnergyModel(IO2).evaluate(stream, 10)
+        assert "rename" not in breakdown.components
+        assert "rob" not in breakdown.components
+
+    def test_ooo_pays_rename_and_rob(self):
+        stream = [make_inst(i) for i in range(10)]
+        breakdown = EnergyModel(OOO2).evaluate(stream, 10)
+        assert breakdown.components["rename"] > 0
+        assert breakdown.components["rob"] > 0
+
+    def test_leakage_scales_with_cycles(self):
+        stream = [make_inst(i) for i in range(10)]
+        model = EnergyModel(OOO2)
+        short = model.evaluate(stream, 100)
+        long = model.evaluate(stream, 10_000)
+        assert long.components["leak_core"] == pytest.approx(
+            100 * short.components["leak_core"])
+
+    def test_fu_energy_by_class(self):
+        model = EnergyModel(OOO2)
+        alu = model.evaluate([make_inst(0, Opcode.ADD)], 1)
+        fp = model.evaluate([make_inst(0, Opcode.FMUL)], 1)
+        assert fp.components["fu"] > alu.components["fu"]
+
+    def test_memory_hierarchy_energy(self):
+        model = EnergyModel(OOO2)
+        l1 = model.evaluate(
+            [make_inst(0, Opcode.LD, mem_addr=0, mem_lat=4,
+                       mem_level="l1")], 1)
+        dram = model.evaluate(
+            [make_inst(0, Opcode.LD, mem_addr=0, mem_lat=176,
+                       mem_level="dram")], 1)
+        assert dram.total_pj > 10 * l1.total_pj
+        assert "dram" in dram.components
+        assert "dram" not in l1.components
+
+
+class TestVectorAndAccelEnergy:
+    def test_vector_op_cheaper_than_scalar_equivalent(self):
+        model = EnergyModel(OOO4)
+        scalars = model.evaluate(
+            [make_inst(i, Opcode.FMUL) for i in range(4)], 4)
+        vector = model.evaluate(
+            [make_inst(0, Opcode.VFMUL, vector_width=4)], 1)
+        assert vector.total_pj < scalars.total_pj
+
+    def test_accel_op_cheaper_than_core_op(self):
+        model = EnergyModel(OOO2)
+        core = model.evaluate([make_inst(0, Opcode.ADD)], 0)
+        accel = model.evaluate(
+            [make_inst(0, Opcode.CFU, accel="ns_df")], 0)
+        assert accel.total_pj < core.total_pj
+
+    def test_power_gated_core_leaks_less(self):
+        model = EnergyModel(OOO2)
+        on = model.evaluate([], 1000, core_active=True)
+        gated = model.evaluate([], 1000, core_active=False)
+        assert gated.components["leak_core"] \
+            < on.components["leak_core"]
+
+    def test_accel_leakage_when_active(self):
+        model = EnergyModel(OOO2)
+        breakdown = model.evaluate([], 1000,
+                                   active_accels=("dp_cgra",))
+        assert breakdown.components["leak_dp_cgra"] > 0
+
+    def test_config_instruction_energy(self):
+        model = EnergyModel(OOO2)
+        breakdown = model.evaluate(
+            [make_inst(0, Opcode.CFG, accel="dp_cgra")], 0)
+        assert breakdown.components["accel_config"] > 100
+
+    def test_cfu_fusion_cheaper_than_separate(self):
+        model = EnergyModel(OOO2)
+        fused = model.evaluate(
+            [make_inst(0, Opcode.CFU, accel="ns_df", vector_width=3)],
+            0)
+        separate = model.evaluate(
+            [make_inst(i, Opcode.CFU, accel="ns_df") for i in range(3)],
+            0)
+        assert fused.total_pj < separate.total_pj
+
+
+class TestArea:
+    def test_core_area_ordering(self):
+        areas = [core_area(c) for c in (IO2, OOO2, OOO4, OOO6)]
+        assert areas == sorted(areas)
+
+    def test_accelerator_areas(self):
+        for name in ("simd", "dp_cgra", "ns_df", "trace_p"):
+            assert accelerator_area(name) > 0
+        with pytest.raises(KeyError):
+            accelerator_area("warp_drive")
+
+    def test_exocore_area_additive(self):
+        base = exocore_area(OOO2, ())
+        full = exocore_area(OOO2, ("simd", "dp_cgra"))
+        assert full == pytest.approx(
+            base + accelerator_area("simd")
+            + accelerator_area("dp_cgra"))
+
+    def test_headline_area_claim_shape(self):
+        """OOO2 + three BSAs is ~35-45% smaller than OOO6 + SIMD
+        (paper: 40%)."""
+        sdn = exocore_area(OOO2, ("simd", "dp_cgra", "ns_df"))
+        ooo6s = exocore_area(OOO6, ("simd",))
+        assert 0.55 < sdn / ooo6s < 0.70

@@ -1,0 +1,143 @@
+"""Tests for ExoCore evaluation, scheduling and composition."""
+
+import pytest
+
+from repro.exocore import (
+    evaluate_benchmark, oracle_schedule, amdahl_schedule,
+    switching_timeline,
+)
+
+ALL = ("simd", "dp_cgra", "ns_df", "trace_p")
+
+
+@pytest.fixture(scope="module")
+def vec_eval(vector_tdg):
+    return evaluate_benchmark(vector_tdg, name="vec")
+
+
+@pytest.fixture(scope="module")
+def branchy_eval(branchy_tdg):
+    return evaluate_benchmark(branchy_tdg, name="branchy")
+
+
+class TestEvaluator:
+    def test_baselines_for_all_cores(self, vec_eval):
+        for core in ("IO2", "OOO2", "OOO4", "OOO6"):
+            baseline = vec_eval.baseline(core)
+            assert baseline.cycles > 0
+            assert baseline.energy_pj > 0
+
+    def test_baseline_ordering(self, vec_eval):
+        cycles = [vec_eval.baseline(c).cycles
+                  for c in ("IO2", "OOO2", "OOO4", "OOO6")]
+        assert cycles[0] >= cycles[1] >= cycles[2] >= cycles[3]
+
+    def test_per_loop_cycles_bounded(self, vec_eval):
+        baseline = vec_eval.baseline("OOO2")
+        for cycles in baseline.per_loop_cycles.values():
+            assert 0 <= cycles <= baseline.cycles
+
+    def test_estimates_exist_for_simd(self, vec_eval):
+        estimates = vec_eval.estimates[("simd", "OOO2")]
+        assert estimates
+
+    def test_bsas_targeting(self, vec_eval):
+        forest = vec_eval.forest
+        inner = [l for l in forest if l.is_inner][0]
+        targeting = vec_eval.bsas_targeting(inner.key)
+        assert "simd" in targeting
+
+
+class TestOracleScheduler:
+    def test_full_subset_never_slower_than_single(self, vec_eval):
+        full = oracle_schedule(vec_eval, "OOO2", ALL)
+        for bsa in ALL:
+            single = oracle_schedule(vec_eval, "OOO2", (bsa,))
+            assert full.cycles <= single.cycles * 1.01
+
+    def test_empty_subset_equals_baseline(self, vec_eval):
+        schedule = oracle_schedule(vec_eval, "OOO2", ())
+        baseline = vec_eval.baseline("OOO2")
+        assert schedule.cycles == pytest.approx(baseline.cycles,
+                                                rel=0.02)
+
+    def test_slowdown_constraint(self, vec_eval):
+        """No chosen region may exceed 110% of its baseline cycles."""
+        schedule = oracle_schedule(vec_eval, "OOO2", ALL)
+        baseline = vec_eval.baseline("OOO2")
+        for key, unit in schedule.assignment.items():
+            if unit == "gpp":
+                continue
+            estimate = vec_eval.estimate_for(unit, "OOO2", key)
+            assert estimate.cycles <= \
+                baseline.per_loop_cycles[key] * 1.10 + 1
+
+    def test_attribution_sums_to_total(self, vec_eval):
+        schedule = oracle_schedule(vec_eval, "OOO2", ALL)
+        assert sum(schedule.cycles_by.values()) == \
+            pytest.approx(schedule.cycles, rel=0.01)
+        assert sum(schedule.energy_by.values()) == \
+            pytest.approx(schedule.energy_pj, rel=0.01)
+
+    def test_vectorizable_benchmark_accelerated(self, vec_eval):
+        schedule = oracle_schedule(vec_eval, "OOO2", ALL)
+        baseline = vec_eval.baseline("OOO2")
+        assert baseline.cycles / schedule.cycles > 1.3
+        assert schedule.offloaded_fraction > 0.5
+
+    def test_nested_assignment_consistent(self, nested_tdg):
+        evaluation = evaluate_benchmark(nested_tdg, name="nested")
+        schedule = oracle_schedule(evaluation, "OOO2", ALL)
+        forest = evaluation.forest
+        outer = forest.roots[0]
+        inner = outer.children[0]
+        if schedule.assignment.get(outer.key, "gpp") != "gpp":
+            # Offloading the whole nest leaves no separate choice
+            # recorded for the child.
+            assert inner.key not in schedule.assignment
+
+
+class TestAmdahlScheduler:
+    def test_runs_and_improves_energy(self, branchy_eval):
+        schedule = amdahl_schedule(branchy_eval, "OOO2", ALL)
+        baseline = branchy_eval.baseline("OOO2")
+        assert schedule.energy_pj < baseline.energy_pj
+
+    def test_amdahl_not_better_than_oracle_edp(self, vec_eval):
+        oracle = oracle_schedule(vec_eval, "OOO2", ALL)
+        amdahl = amdahl_schedule(vec_eval, "OOO2", ALL)
+        oracle_edp = oracle.cycles * oracle.energy_pj
+        amdahl_edp = amdahl.cycles * amdahl.energy_pj
+        assert amdahl_edp >= oracle_edp * 0.99
+
+    def test_amdahl_uses_estimates_not_measurements(self, vec_eval):
+        # The Amdahl scheduler may differ from the oracle in its
+        # assignment; both must produce valid totals.
+        amdahl = amdahl_schedule(vec_eval, "OOO2", ALL)
+        assert amdahl.cycles > 0
+        assert sum(amdahl.cycles_by.values()) == pytest.approx(
+            amdahl.cycles, rel=0.01)
+
+
+class TestTimeline:
+    def test_segments_cover_execution(self, vec_eval):
+        schedule = oracle_schedule(vec_eval, "OOO2", ALL)
+        segments = switching_timeline(vec_eval, schedule)
+        assert segments
+        assert segments[0].start_cycle == 0
+        for a, b in zip(segments, segments[1:]):
+            assert a.end_cycle == b.start_cycle
+        baseline = vec_eval.baseline("OOO2")
+        assert segments[-1].end_cycle == pytest.approx(
+            baseline.cycles, rel=0.02)
+
+    def test_accelerated_segments_present(self, vec_eval):
+        schedule = oracle_schedule(vec_eval, "OOO2", ALL)
+        segments = switching_timeline(vec_eval, schedule)
+        units = {s.unit for s in segments}
+        assert units - {"gpp"}
+
+    def test_speedups_positive(self, branchy_eval):
+        schedule = oracle_schedule(branchy_eval, "OOO2", ALL)
+        for segment in switching_timeline(branchy_eval, schedule):
+            assert segment.speedup > 0

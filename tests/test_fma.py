@@ -1,0 +1,126 @@
+"""Tests for the paper's section-2.3 fma example transform (Fig. 4)."""
+
+import pytest
+
+from repro.accel import FmaTransform
+from repro.accel.fma import find_fma_pairs
+from repro.core_model import OOO2
+from repro.isa import Opcode
+from repro.programs import KernelBuilder, assemble
+from repro.tdg import TimingEngine, construct_tdg
+
+
+def fig4_program():
+    """The paper's running example:
+    I0:fmul I1:ld I2:fmul I3:fadd I4:sub I5:brnz."""
+    return assemble("""
+.func main
+entry:
+    li r3, 2.0
+    li r0, 0
+    li r1, 16
+    li r5, 1.0
+body:
+    fmul r5, r5, r3
+    ld r2, [r1+64]
+    fmul r4, r2, r3
+    fadd r5, r4, r5
+    sub r1, r1, 4
+    slt r6, r0, r1
+    br r6, body
+    halt
+""")
+
+
+class TestAnalyzer:
+    def test_finds_single_use_pair(self):
+        program = fig4_program()
+        pairs = find_fma_pairs(program)
+        # fadd r5, r4, r5 fuses with fmul r4, r2, r3 (single use of r4)
+        assert len(pairs) == 1
+        fadd_uid, fmul_uid = next(iter(pairs.items()))
+        assert program.instruction(fadd_uid).opcode is Opcode.FADD
+        assert program.instruction(fmul_uid).opcode is Opcode.FMUL
+
+    def test_multi_use_fmul_not_fused(self):
+        program = assemble("""
+.func main
+    li r3, 1.0
+    fmul r4, r3, r3
+    fadd r5, r4, r3
+    fsub r6, r4, r3
+    halt
+""")
+        assert find_fma_pairs(program) == {}
+
+    def test_no_fp_no_pairs(self):
+        program = assemble(".func main\n add r3, r4, r5\n halt")
+        assert find_fma_pairs(program) == {}
+
+    def test_cross_block_not_fused(self):
+        program = assemble("""
+.func main
+a:
+    li r3, 1.0
+    fmul r4, r3, r3
+    jmp b
+b:
+    fadd r5, r4, r3
+    halt
+""")
+        assert find_fma_pairs(program) == {}
+
+
+class TestTransform:
+    def make_tdg(self):
+        k = KernelBuilder("fma")
+        a = k.array("a", [float(i % 7) for i in range(64)])
+        b = k.array("b", [0.5] * 64)
+        out = k.array("out", 64)
+        with k.function("main"):
+            with k.loop(64) as i:
+                av = k.ld(a, i)
+                bv = k.ld(b, i)
+                prod = k.fmul(av, bv)          # single use
+                total = k.fadd(prod, 1.0)
+                k.st(out, i, total)
+            k.halt()
+        program, memory = k.build()
+        return construct_tdg(program, memory)
+
+    def test_elides_fadds(self):
+        tdg = self.make_tdg()
+        transform = FmaTransform(tdg.program)
+        assert transform.pair_count == 1
+        out = transform.apply(tdg.trace.instructions)
+        n_before = len(tdg.trace)
+        assert len(out) == n_before - 64   # one fadd elided per iter
+
+    def test_fmuls_become_fmas(self):
+        tdg = self.make_tdg()
+        out = FmaTransform(tdg.program).apply(tdg.trace.instructions)
+        opcodes = [d.opcode for d in out]
+        assert Opcode.FMA in opcodes
+        assert Opcode.FADD not in opcodes
+
+    def test_deps_redirected_to_fma(self):
+        tdg = self.make_tdg()
+        out = FmaTransform(tdg.program).apply(tdg.trace.instructions)
+        fma_seqs = {d.seq for d in out if d.opcode is Opcode.FMA}
+        stores = [d for d in out if d.opcode is Opcode.ST]
+        # Every store's value now comes from an fma.
+        assert all(any(dep in fma_seqs for dep in s.src_deps)
+                   for s in stores)
+
+    def test_transform_speeds_up_execution(self):
+        tdg = self.make_tdg()
+        before = TimingEngine(OOO2).run(tdg.trace.instructions)
+        after = TimingEngine(OOO2).run(
+            FmaTransform(tdg.program).apply(tdg.trace.instructions))
+        assert after.cycles <= before.cycles
+
+    def test_untouched_stream_without_pairs(self, branchy_tdg):
+        transform = FmaTransform(branchy_tdg.program)
+        if transform.pair_count == 0:
+            out = transform.apply(branchy_tdg.trace.instructions)
+            assert len(out) == len(branchy_tdg.trace)

@@ -1,0 +1,122 @@
+"""End-to-end integration tests: the paper's narrative at small scale.
+
+These chain the whole pipeline — workload -> trace -> analyses ->
+transforms -> schedulers -> reports — and assert the cross-cutting
+invariants no unit test covers.
+"""
+
+import pytest
+
+from repro import (
+    WORKLOADS, evaluate_benchmark, oracle_schedule, core_by_name,
+    exocore_area, EnergyModel, TimingEngine,
+)
+from repro.dse import run_sweep, fig10_table, fig12_table
+
+ALL = ("simd", "dp_cgra", "ns_df", "trace_p")
+
+
+@pytest.fixture(scope="module")
+def conv_eval():
+    tdg = WORKLOADS["conv"].construct_tdg(scale=0.4)
+    return evaluate_benchmark(tdg, name="conv")
+
+
+class TestSingleBenchmarkNarrative:
+    def test_exocore_beats_core_on_both_axes(self, conv_eval):
+        for core in ("IO2", "OOO2", "OOO6"):
+            baseline = conv_eval.baseline(core)
+            schedule = oracle_schedule(conv_eval, core, ALL)
+            assert schedule.cycles < baseline.cycles
+            assert schedule.energy_pj < baseline.energy_pj
+
+    def test_subset_monotonicity(self, conv_eval):
+        """Adding BSAs to the subset never makes the oracle worse."""
+        subsets = [(), ("simd",), ("simd", "ns_df"),
+                   ("simd", "ns_df", "trace_p"), ALL]
+        previous_edp = None
+        for subset in subsets:
+            schedule = oracle_schedule(conv_eval, "OOO2", subset)
+            edp = schedule.cycles * max(schedule.energy_pj, 1.0)
+            if previous_edp is not None:
+                assert edp <= previous_edp * 1.001
+            previous_edp = edp
+
+    def test_small_exocore_vs_big_core_story(self, conv_eval):
+        """Figure 3 in miniature: a 2-wide ExoCore challenges a 6-wide
+        core at a fraction of the energy."""
+        ooo6 = conv_eval.baseline("OOO6")
+        exo2 = oracle_schedule(conv_eval, "OOO2", ALL)
+        assert exo2.cycles < ooo6.cycles * 1.3
+        assert exo2.energy_pj < ooo6.energy_pj
+        assert exocore_area(core_by_name("OOO2"), ALL) \
+            < exocore_area(core_by_name("OOO6"), ())
+
+
+class TestCrossModelConsistency:
+    def test_engine_and_window_graph_agree(self):
+        """The O(n) engine and the explicit µDG compute compatible
+        times on the same window (no resource contention case)."""
+        from repro.core_model import OOO8
+        tdg = WORKLOADS["stencil"].construct_tdg(scale=0.15)
+        window = tdg.trace.instructions[:120]
+        graph_cycles = tdg.window_graph(OOO8, 0, 120).total_cycles()
+        engine_cycles = TimingEngine(OOO8).run(window).cycles
+        # The engine adds resource tables the graph omits, so it may
+        # only be equal or slower, and close on a wide machine.
+        assert engine_cycles >= graph_cycles * 0.95
+        assert engine_cycles <= graph_cycles * 1.5
+
+    def test_critical_path_report(self):
+        from repro.core_model import OOO2
+        from repro.tdg.mudg import EdgeKind
+        tdg = WORKLOADS["conv"].construct_tdg(scale=0.15)
+        cycles, ranked = tdg.critical_path_report(OOO2, 0, 100)
+        assert cycles > 0
+        kinds = [kind for kind, _count in ranked]
+        assert EdgeKind.EXEC_LAT in kinds or EdgeKind.DATA_DEP in kinds
+
+    def test_energy_attribution_additive(self, conv_eval):
+        """Region energies never exceed the whole-program energy."""
+        baseline = conv_eval.baseline("OOO2")
+        region_total = sum(
+            baseline.per_loop_energy.get(root.key, 0.0)
+            for root in conv_eval.forest.roots)
+        assert region_total <= baseline.energy_pj * 1.01
+
+
+class TestSweepLevelInvariants:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep(names=("conv", "cjpeg1", "458.sjeng"),
+                         scale=0.25, max_invocations=4,
+                         with_amdahl=False)
+
+    def test_fig10_internally_consistent(self, sweep):
+        rows = {(r["line"], r["core"]): r for r in fig10_table(sweep)}
+        # The Oracle optimizes energy-delay, so the full subset can
+        # trade a little performance for energy versus a single-BSA
+        # line — but its EDP-like product must dominate every line.
+        for core in sweep.core_names:
+            full = rows[("exocore-full", core)]
+            full_score = (full["rel_performance"]
+                          * full["rel_energy_eff"])
+            for bsa in ALL:
+                single = rows[(bsa, core)]
+                single_score = (single["rel_performance"]
+                                * single["rel_energy_eff"])
+                assert full_score >= single_score * 0.99, (core, bsa)
+
+    def test_fig12_reference_normalization(self, sweep):
+        rows = {r["design"]: r for r in fig12_table(sweep)}
+        ref = rows["IO2--"]
+        assert ref["speedup"] == pytest.approx(1.0)
+        assert ref["energy_eff"] == pytest.approx(1.0)
+        assert ref["area"] == pytest.approx(1.0)
+
+    def test_schedule_cycles_match_report(self, sweep):
+        for record in sweep.benchmarks():
+            for (core, subset), summary in record.oracle.items():
+                by_sum = sum(summary["cycles_by"].values())
+                assert by_sum == pytest.approx(summary["cycles"],
+                                               rel=0.02)

@@ -1,0 +1,167 @@
+"""Unit tests for the program IR (blocks, functions, programs)."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.programs import BasicBlock, Function, Program
+
+
+def make_loop_program():
+    """li r3,0 ; loop: add r3,r3,1 ; slt r4,r3,10 ; br r4,loop ; halt"""
+    program = Program("looper")
+    main = program.add_function("main")
+    entry = main.add_block("entry")
+    entry.append(Instruction(Opcode.LI, dest=3, imm=0))
+    loop = main.add_block("loop")
+    loop.append(Instruction(Opcode.ADD, dest=3, srcs=(3,), imm=1))
+    loop.append(Instruction(Opcode.SLT, dest=4, srcs=(3,), imm=10))
+    loop.append(Instruction(Opcode.BR, srcs=(4,), target="loop"))
+    exit_block = main.add_block("exit")
+    exit_block.append(Instruction(Opcode.HALT))
+    return program.finalize()
+
+
+class TestBasicBlock:
+    def test_append_sets_position(self):
+        block = BasicBlock("b")
+        inst = block.append(Instruction(Opcode.NOP))
+        assert inst.block is block
+        assert inst.index == 0
+        assert len(block) == 1
+
+    def test_terminator_detection(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.ADD, dest=3, srcs=(4, 5)))
+        assert block.terminator is None
+        block.append(Instruction(Opcode.JMP, target="x"))
+        assert block.terminator is not None
+
+    def test_append_after_terminator_fails(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.HALT))
+        with pytest.raises(ValueError):
+            block.append(Instruction(Opcode.NOP))
+
+    def test_append_rejects_non_instruction(self):
+        with pytest.raises(TypeError):
+            BasicBlock("b").append("not an instruction")
+
+
+class TestSuccessors:
+    def test_fallthrough(self):
+        program = make_loop_program()
+        entry = program.main.block("entry")
+        assert entry.successors() == ["loop"]
+
+    def test_conditional_branch_two_successors(self):
+        program = make_loop_program()
+        loop = program.main.block("loop")
+        assert loop.successors() == ["loop", "exit"]
+
+    def test_halt_no_successors(self):
+        program = make_loop_program()
+        assert program.main.block("exit").successors() == []
+
+    def test_jmp_single_successor(self):
+        program = Program("p")
+        main = program.add_function("main")
+        a = main.add_block("a")
+        a.append(Instruction(Opcode.JMP, target="c"))
+        main.add_block("b").append(Instruction(Opcode.NOP))
+        main.add_block("c").append(Instruction(Opcode.HALT))
+        assert a.successors() == ["c"]
+
+    def test_last_block_fallthrough_is_empty(self):
+        program = Program("p")
+        main = program.add_function("main")
+        main.add_block("only").append(
+            Instruction(Opcode.ADD, dest=3, srcs=(4,)))
+        assert main.block("only").successors() == []
+
+    def test_predecessors(self):
+        program = make_loop_program()
+        preds = program.main.predecessors()
+        assert set(preds["loop"]) == {"entry", "loop"}
+        assert preds["exit"] == ["loop"]
+
+
+class TestFunction:
+    def test_duplicate_block_label(self):
+        function = Function("f")
+        function.add_block("a")
+        with pytest.raises(ValueError):
+            function.add_block("a")
+
+    def test_entry_is_first_block(self):
+        program = make_loop_program()
+        assert program.main.entry.label == "entry"
+
+    def test_entry_of_empty_function_fails(self):
+        with pytest.raises(ValueError):
+            Function("f").entry
+
+    def test_instructions_in_layout_order(self):
+        program = make_loop_program()
+        opcodes = [i.opcode for i in program.main.instructions()]
+        assert opcodes == [Opcode.LI, Opcode.ADD, Opcode.SLT,
+                           Opcode.BR, Opcode.HALT]
+
+    def test_cfg_edges(self):
+        program = make_loop_program()
+        edges = set(program.main.cfg_edges())
+        assert ("loop", "loop") in edges
+        assert ("loop", "exit") in edges
+        assert ("entry", "loop") in edges
+
+    def test_validate_catches_bad_target(self):
+        program = Program("p")
+        main = program.add_function("main")
+        main.add_block("a").append(
+            Instruction(Opcode.JMP, target="nowhere"))
+        with pytest.raises(ValueError):
+            program.finalize()
+
+    def test_validate_catches_bad_callee(self):
+        program = Program("p")
+        main = program.add_function("main")
+        main.add_block("a").append(
+            Instruction(Opcode.CALL, target="missing"))
+        with pytest.raises(ValueError):
+            program.finalize()
+
+
+class TestProgram:
+    def test_finalize_assigns_dense_uids(self):
+        program = make_loop_program()
+        uids = [inst.uid for inst in program.static_instructions]
+        assert uids == list(range(len(program)))
+
+    def test_instruction_lookup(self):
+        program = make_loop_program()
+        assert program.instruction(0).opcode is Opcode.LI
+
+    def test_duplicate_function(self):
+        program = Program("p")
+        program.add_function("f")
+        with pytest.raises(ValueError):
+            program.add_function("f")
+
+    def test_missing_main(self):
+        program = Program("p")
+        program.add_function("not_main")
+        with pytest.raises(ValueError):
+            program.main
+
+    def test_finalize_idempotent(self):
+        program = make_loop_program()
+        first = [inst.uid for inst in program.static_instructions]
+        program.finalize()
+        second = [inst.uid for inst in program.static_instructions]
+        assert first == second
+
+    def test_len_counts_all_functions(self):
+        program = make_loop_program()
+        helper = program.add_function("helper")
+        helper.add_block("h").append(Instruction(Opcode.RET))
+        program.finalize()
+        assert len(program) == 6

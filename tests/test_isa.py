@@ -1,0 +1,169 @@
+"""Unit tests for the mini ISA: opcodes, classification, instructions."""
+
+import pytest
+
+from repro.isa import (
+    Opcode, OpClass, Instruction, op_class, is_branch, is_memory,
+    is_load, is_store, is_compute, is_fp, is_vector,
+    vector_opcode_for, scalar_opcode_for, reg_name, parse_reg, NUM_REGS,
+)
+from repro.isa.opcodes import fu_latency, is_control
+
+
+class TestOpcodeClassification:
+    def test_alu_ops_are_compute(self):
+        for opcode in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.XOR,
+                       Opcode.SLT, Opcode.MIN):
+            assert op_class(opcode) is OpClass.ALU
+            assert is_compute(opcode)
+
+    def test_mul_div_use_mul_pipe(self):
+        assert op_class(Opcode.MUL) is OpClass.MUL
+        assert op_class(Opcode.DIV) is OpClass.MUL
+        assert op_class(Opcode.REM) is OpClass.MUL
+
+    def test_fp_ops(self):
+        assert op_class(Opcode.FADD) is OpClass.FP
+        assert op_class(Opcode.FDIV) is OpClass.FP_DIV
+        assert is_fp(Opcode.FMUL)
+        assert is_fp(Opcode.FSQRT)
+        assert not is_fp(Opcode.MUL)
+
+    def test_memory_classification(self):
+        assert is_memory(Opcode.LD)
+        assert is_memory(Opcode.ST)
+        assert is_load(Opcode.LD)
+        assert not is_load(Opcode.ST)
+        assert is_store(Opcode.ST)
+        assert is_load(Opcode.VLD)
+        assert is_store(Opcode.VST)
+
+    def test_branch_classification(self):
+        assert is_branch(Opcode.BR)
+        assert not is_branch(Opcode.JMP)
+        assert is_control(Opcode.JMP)
+        assert is_control(Opcode.CALL)
+        assert is_control(Opcode.RET)
+        assert not is_control(Opcode.NOP)
+        assert not is_control(Opcode.ADD)
+
+    def test_memory_not_compute(self):
+        assert not is_compute(Opcode.LD)
+        assert not is_compute(Opcode.BR)
+
+    def test_every_opcode_has_a_class(self):
+        for opcode in Opcode:
+            assert op_class(opcode) in OpClass
+
+    def test_fu_latency_defaults_to_one(self):
+        assert fu_latency(Opcode.ADD) == 1
+        assert fu_latency(Opcode.LD) == 1
+
+    def test_fu_latency_long_ops(self):
+        assert fu_latency(Opcode.FDIV) > fu_latency(Opcode.FMUL) \
+            > fu_latency(Opcode.ADD)
+        assert fu_latency(Opcode.DIV) > 10
+
+
+class TestVectorTwins:
+    def test_vectorizable_ops_have_twins(self):
+        assert vector_opcode_for(Opcode.ADD) is Opcode.VADD
+        assert vector_opcode_for(Opcode.FMUL) is Opcode.VFMUL
+        assert vector_opcode_for(Opcode.LD) is Opcode.VLD
+        assert vector_opcode_for(Opcode.ST) is Opcode.VST
+
+    def test_twins_round_trip(self):
+        for opcode in Opcode:
+            twin = vector_opcode_for(opcode)
+            if twin is not None:
+                assert scalar_opcode_for(twin) is opcode
+
+    def test_non_vectorizable_ops(self):
+        assert vector_opcode_for(Opcode.DIV) is None
+        assert vector_opcode_for(Opcode.BR) is None
+        assert vector_opcode_for(Opcode.CALL) is None
+
+    def test_vector_predicates(self):
+        assert is_vector(Opcode.VADD)
+        assert is_vector(Opcode.VBLEND)
+        assert not is_vector(Opcode.ADD)
+
+    def test_vector_inherits_latency(self):
+        assert fu_latency(Opcode.VFMUL) == fu_latency(Opcode.FMUL)
+
+    def test_vector_inherits_class(self):
+        assert op_class(Opcode.VFADD) is OpClass.FP
+        assert op_class(Opcode.VADD) is OpClass.ALU
+
+
+class TestRegisters:
+    def test_reg_name(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(63) == "r63"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_REGS)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+    def test_parse_reg_round_trip(self):
+        for index in (0, 1, 31, 63):
+            assert parse_reg(reg_name(index)) == index
+
+    def test_parse_reg_rejects_garbage(self):
+        for bad in ("x5", "r64", "r-1", "5", ""):
+            with pytest.raises(ValueError):
+                parse_reg(bad)
+
+
+class TestInstruction:
+    def test_simple_instruction(self):
+        inst = Instruction(Opcode.ADD, dest=3, srcs=(4, 5))
+        assert inst.dest == 3
+        assert inst.srcs == (4, 5)
+        assert not inst.is_memory
+
+    def test_immediate_form(self):
+        inst = Instruction(Opcode.ADD, dest=3, srcs=(4,), imm=7)
+        assert inst.imm == 7
+
+    def test_branch_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, srcs=(3,))
+        Instruction(Opcode.BR, srcs=(3,), target="loop")  # ok
+
+    def test_jmp_call_need_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CALL)
+
+    def test_load_needs_dest_and_base(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LD, srcs=(4,))          # no dest
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LD, dest=3)             # no base
+        Instruction(Opcode.LD, dest=3, srcs=(4,), imm=0)  # ok
+
+    def test_bad_register_indices(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, dest=99, srcs=(1,))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, dest=1, srcs=(99,))
+
+    def test_str_formats(self):
+        inst = Instruction(Opcode.ADD, dest=3, srcs=(4, 5))
+        assert str(inst) == "add r3, r4, r5"
+        load = Instruction(Opcode.LD, dest=3, srcs=(4,), imm=16)
+        assert "[r4+16]" in str(load)
+
+    def test_classification_properties(self):
+        load = Instruction(Opcode.LD, dest=3, srcs=(4,), imm=0)
+        assert load.is_load and load.is_memory and not load.is_store
+        branch = Instruction(Opcode.BR, srcs=(3,), target="x")
+        assert branch.is_branch
+
+    def test_opcode_type_checked(self):
+        with pytest.raises(TypeError):
+            Instruction("add", dest=3)

@@ -1,0 +1,119 @@
+"""Unit tests for the explicit µDG (graph construction, critical path)."""
+
+import pytest
+
+from repro.tdg.mudg import MicroDepGraph, NodeKind, EdgeKind
+from repro.tdg.constructor import build_window_graph
+from repro.core_model import OOO2, IO2
+
+
+class TestGraphBasics:
+    def test_add_nodes_and_edges(self):
+        g = MicroDepGraph()
+        a = g.add_node(0, NodeKind.EXECUTE)
+        b = g.add_node(0, NodeKind.COMPLETE)
+        g.add_edge(a, b, 3, EdgeKind.EXEC_LAT)
+        assert g.time_of(0, NodeKind.EXECUTE) == 0
+        assert g.time_of(0, NodeKind.COMPLETE) == 3
+
+    def test_duplicate_node_is_noop(self):
+        g = MicroDepGraph()
+        g.add_node(0, NodeKind.EXECUTE)
+        g.add_node(0, NodeKind.EXECUTE)
+        assert len(g.nodes) == 1
+
+    def test_edge_requires_nodes(self):
+        g = MicroDepGraph()
+        a = g.add_node(0, NodeKind.EXECUTE)
+        with pytest.raises(KeyError):
+            g.add_edge(a, (1, NodeKind.EXECUTE), 1, EdgeKind.DATA_DEP)
+
+    def test_longest_path_takes_max(self):
+        g = MicroDepGraph()
+        a = g.add_node(0, NodeKind.COMPLETE)
+        b = g.add_node(1, NodeKind.COMPLETE)
+        c = g.add_node(2, NodeKind.EXECUTE)
+        g.add_edge(a, c, 2, EdgeKind.DATA_DEP)
+        g.add_edge(b, c, 5, EdgeKind.DATA_DEP)
+        assert g.time_of(2, NodeKind.EXECUTE) == 5
+
+    def test_non_topological_insertion_detected(self):
+        g = MicroDepGraph()
+        a = g.add_node(0, NodeKind.EXECUTE)
+        b = g.add_node(1, NodeKind.EXECUTE)
+        # Edge from b (later) into a (earlier): illegal order.
+        g.add_edge(b, a, 1, EdgeKind.DATA_DEP)
+        with pytest.raises(ValueError):
+            g.total_cycles()
+
+    def test_total_cycles_empty(self):
+        assert MicroDepGraph().total_cycles() == 0
+
+
+class TestCriticalPath:
+    def make_chain(self):
+        g = MicroDepGraph()
+        prev = None
+        for i in range(5):
+            e = g.add_node(i, NodeKind.EXECUTE)
+            p = g.add_node(i, NodeKind.COMPLETE)
+            g.add_edge(e, p, 2, EdgeKind.EXEC_LAT)
+            if prev is not None:
+                g.add_edge(prev, e, 0, EdgeKind.DATA_DEP)
+            prev = p
+        return g
+
+    def test_chain_time(self):
+        g = self.make_chain()
+        assert g.total_cycles() == 10
+
+    def test_critical_path_walks_chain(self):
+        g = self.make_chain()
+        path = g.critical_path()
+        assert path[0][0] == (0, NodeKind.EXECUTE)
+        assert path[-1][0] == (4, NodeKind.COMPLETE)
+        assert path[-1][1] is None
+        assert len(path) == 10
+
+    def test_kind_histogram(self):
+        g = self.make_chain()
+        hist = g.critical_kind_histogram()
+        assert hist[EdgeKind.EXEC_LAT] == 5
+        assert hist[EdgeKind.DATA_DEP] == 4
+
+    def test_render_mentions_nodes(self):
+        g = self.make_chain()
+        text = g.render()
+        assert "E0" in text and "P4" in text
+
+
+class TestWindowGraph:
+    def test_window_graph_from_trace(self, vector_tdg):
+        g = vector_tdg.window_graph(OOO2, 0, 30)
+        # 5 nodes per core instruction.
+        assert len(g.nodes) == 5 * 30
+        assert g.total_cycles() > 0
+
+    def test_window_graph_has_width_edges(self, vector_tdg):
+        g = vector_tdg.window_graph(OOO2, 0, 10)
+        kinds = set()
+        for node in g.nodes:
+            for _src, _w, kind in g.in_edges(node):
+                kinds.add(kind)
+        assert EdgeKind.FETCH_BW in kinds
+        assert EdgeKind.DATA_DEP in kinds
+        assert EdgeKind.EXEC_LAT in kinds
+
+    def test_in_order_adds_issue_edges(self, vector_tdg):
+        g = build_window_graph(vector_tdg.trace.instructions[:10], IO2)
+        kinds = set()
+        for node in g.nodes:
+            for _src, _w, kind in g.in_edges(node):
+                kinds.add(kind)
+        assert EdgeKind.INORDER_ISSUE in kinds
+
+    def test_wider_core_not_slower(self, vector_tdg):
+        from repro.core_model import OOO6
+        narrow = vector_tdg.window_graph(OOO2, 0, 60).total_cycles()
+        wide = vector_tdg.window_graph(OOO6, 0, 60).total_cycles()
+        assert wide <= narrow

@@ -1,0 +1,62 @@
+"""Tests for sweep persistence (save/load round trip)."""
+
+import pytest
+
+from repro.dse import run_sweep, fig10_table, fig12_table
+from repro.dse.persist import save_sweep, load_sweep, FORMAT_VERSION
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(names=("conv", "181.mcf"), scale=0.2,
+                     max_invocations=4)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert loaded.core_names == sweep.core_names
+        assert loaded.subsets == sweep.subsets
+        assert set(loaded.results) == set(sweep.results)
+
+    def test_report_tables_identical(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert fig10_table(loaded) == fig10_table(sweep)
+        original_rows = fig12_table(sweep)
+        loaded_rows = fig12_table(loaded)
+        assert loaded_rows == original_rows
+
+    def test_assignments_preserved(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        for name, record in sweep.results.items():
+            for key, summary in record.oracle.items():
+                restored = loaded.results[name].oracle[key]
+                assert restored["assignment"] == summary["assignment"]
+                assert restored["cycles"] == summary["cycles"]
+
+    def test_amdahl_preserved(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        for name, record in sweep.results.items():
+            assert set(loaded.results[name].amdahl) == \
+                set(record.amdahl)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 999}')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_sweep(path)
+
+    def test_format_version_stamped(self, sweep, tmp_path):
+        import json
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == FORMAT_VERSION

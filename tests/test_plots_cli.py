@@ -1,0 +1,108 @@
+"""Tests for the ASCII plotting helpers and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dse.plots import (
+    ascii_scatter, frontier_plot, validation_plot, breakdown_bars,
+)
+
+
+class TestAsciiScatter:
+    def test_basic_render(self):
+        text = ascii_scatter([(0, 0), (1, 1), (2, 4)],
+                             x_label="perf", y_label="energy")
+        assert "perf" in text and "energy" in text
+        assert "o" in text
+
+    def test_markers(self):
+        text = ascii_scatter([(0, 0, "A"), (1, 1, "B")])
+        assert "A" in text and "B" in text
+
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no points)"
+
+    def test_unit_line(self):
+        text = ascii_scatter([(1.0, 1.0)], unit_line=True)
+        assert "." in text
+
+    def test_single_point_no_division_error(self):
+        text = ascii_scatter([(5.0, 5.0)])
+        assert "o" in text
+
+    def test_dimensions(self):
+        text = ascii_scatter([(0, 0), (10, 10)], width=30, height=10)
+        grid_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(grid_lines) == 10
+
+
+class TestFrontierPlot:
+    def test_core_markers(self):
+        rows = [
+            {"speedup": 1.0, "energy_eff": 1.0, "core": "IO2"},
+            {"speedup": 2.0, "energy_eff": 0.8, "core": "OOO6"},
+        ]
+        text = frontier_plot(rows)
+        assert "i" in text and "6" in text
+        assert "legend" in text
+
+
+class TestValidationPlot:
+    def test_points_near_unit_line(self):
+        from repro.validation.harness import ValidationPoint
+        points = [ValidationPoint("a", 1.0, 1.1),
+                  ValidationPoint("b", 2.0, 1.9)]
+        text = validation_plot(points, metric="speedup")
+        assert "projected speedup" in text
+
+
+class TestBreakdownBars:
+    def test_stacked_bars(self):
+        rows = [{"benchmark": "conv", "time_gpp": 0.1,
+                 "time_simd": 0.4, "rel_time": 0.5}]
+        text = breakdown_bars(rows, ("time_gpp", "time_simd"),
+                              "benchmark", total_key="rel_time")
+        assert "conv" in text
+        assert "#" in text and "S" in text
+        assert "0.50" in text
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("list", "trace", "run", "classify", "sweep",
+                        "validate"):
+            args = parser.parse_args(
+                [command] + (["conv"] if command in
+                             ("trace", "run", "classify") else []))
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "conv" in out and "181.mcf" in out
+
+    def test_trace_runs(self, capsys):
+        assert main(["trace", "conv", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic instructions" in out
+
+    def test_classify_runs(self, capsys):
+        assert main(["classify", "stencil", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorization" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "conv", "--scale", "0.2",
+                     "--bsas", "simd,ns_df"]) == 0
+        out = capsys.readouterr().out
+        assert "OOO2-Exo" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "OOO8->1" in out

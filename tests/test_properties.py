@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on core data structures and
+model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core_model import CoreConfig, OOO2
+from repro.isa import Instruction, Opcode
+from repro.programs import assemble, disassemble
+from repro.sim.cache import Cache, CacheConfig, LINE_WORDS
+from repro.sim.trace import DynInst
+from repro.tdg.engine import ResourceTable, TimingEngine
+
+_STATIC = Instruction(Opcode.ADD, dest=3, srcs=(4,))
+_STATIC.uid = 0
+
+
+# ---------------------------------------------------------------------
+# ResourceTable: capacity is never exceeded, grants never precede ready
+# ---------------------------------------------------------------------
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    requests=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200),
+                  st.integers(min_value=1, max_value=5)),
+        min_size=1, max_size=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_table_capacity_invariant(capacity, requests):
+    table = ResourceTable(capacity)
+    usage = {}
+    for ready, occupancy in requests:
+        start = table.reserve(ready, occupancy)
+        assert start >= ready
+        for cycle in range(start, start + occupancy):
+            usage[cycle] = usage.get(cycle, 0) + 1
+    assert all(count <= capacity for count in usage.values())
+
+
+# ---------------------------------------------------------------------
+# Cache: hits are only possible for previously-touched lines; stats add
+# ---------------------------------------------------------------------
+@given(addresses=st.lists(st.integers(min_value=0, max_value=4096),
+                          min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_cache_hit_implies_prior_touch(addresses):
+    cache = Cache(CacheConfig(size_words=256, ways=2, hit_latency=1))
+    seen = set()
+    for addr in addresses:
+        line = addr // LINE_WORDS
+        hit = cache.lookup(addr)
+        if hit:
+            assert line in seen
+        seen.add(line)
+    assert cache.hits + cache.misses == len(addresses)
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=63),
+                          min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_cache_within_capacity_never_misses_twice(addresses):
+    # 8 lines fit in a 64-word direct... 2-way 128-word cache entirely.
+    cache = Cache(CacheConfig(size_words=128, ways=2, hit_latency=1))
+    missed = set()
+    for addr in addresses:
+        line = addr // LINE_WORDS
+        hit = cache.lookup(addr)
+        if not hit:
+            assert line not in missed
+            missed.add(line)
+
+
+# ---------------------------------------------------------------------
+# Timing engine: monotonicity properties
+# ---------------------------------------------------------------------
+def _random_stream(data):
+    """Build a small random-but-valid dependence stream."""
+    n = data.draw(st.integers(min_value=1, max_value=120))
+    stream = []
+    for i in range(n):
+        deps = ()
+        if i and data.draw(st.booleans()):
+            deps = (data.draw(st.integers(min_value=0, max_value=i - 1)),)
+        opcode = data.draw(st.sampled_from(
+            [Opcode.ADD, Opcode.FMUL, Opcode.MUL]))
+        stream.append(DynInst(i, _STATIC, opcode, src_deps=deps))
+    return stream
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_wider_core_never_slower(data):
+    stream = _random_stream(data)
+    narrow = CoreConfig("n", width=2, rob_size=32, iq_size=16,
+                        dcache_ports=1, alu_units=2, mul_units=1,
+                        fp_units=1)
+    wide = CoreConfig("w", width=4, rob_size=64, iq_size=32,
+                      dcache_ports=2, alu_units=4, mul_units=2,
+                      fp_units=2)
+    assert TimingEngine(wide).run(stream).cycles \
+        <= TimingEngine(narrow).run(stream).cycles
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_engine_deterministic(data):
+    stream = _random_stream(data)
+    a = TimingEngine(OOO2).run(stream).cycles
+    b = TimingEngine(OOO2).run(stream).cycles
+    assert a == b
+
+
+@given(data=st.data(),
+       extra_lat=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_added_latency_never_helps(data, extra_lat):
+    stream = _random_stream(data)
+    slower = [d.clone(lat_override=d.latency + extra_lat)
+              for d in stream]
+    assert TimingEngine(OOO2).run(slower).cycles \
+        >= TimingEngine(OOO2).run(stream).cycles
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_cycles_bounded_below_by_bandwidth(data):
+    stream = _random_stream(data)
+    result = TimingEngine(OOO2).run(stream)
+    assert result.cycles >= len(stream) / OOO2.width
+
+
+# ---------------------------------------------------------------------
+# Assembler round trip on generated linear programs
+# ---------------------------------------------------------------------
+_REG = st.integers(min_value=3, max_value=63)
+_BINOPS = st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                           "slt", "seq", "fadd", "fmul", "min", "max"])
+
+
+@given(ops=st.lists(st.tuples(_BINOPS, _REG, _REG, _REG),
+                    min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_assembler_round_trip(ops):
+    lines = [".func main", "    li r3, 1"]
+    for mnemonic, rd, ra, rb in ops:
+        lines.append(f"    {mnemonic} r{rd}, r{ra}, r{rb}")
+    lines.append("    halt")
+    source = "\n".join(lines)
+    program = assemble(source)
+    program2 = assemble(disassemble(program))
+    first = [str(i) for i in program.static_instructions]
+    second = [str(i) for i in program2.static_instructions]
+    assert first == second
+
+
+# ---------------------------------------------------------------------
+# Interpreter: executing a generated counted loop gives closed form
+# ---------------------------------------------------------------------
+@given(trip=st.integers(min_value=1, max_value=200),
+       step=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_counted_loop_sum(trip, step):
+    from repro.programs import KernelBuilder
+    from repro.sim import run_program
+    k = KernelBuilder("gen")
+    out = k.array("out", 1)
+    bound = trip * step
+    with k.function("main"):
+        acc = k.var(0)
+        with k.loop(bound, step=step) as i:
+            k.set(acc, k.add(acc, i))
+        k.st(out, 0, acc)
+        k.halt()
+    program, memory = k.build()
+    trace = run_program(program, memory)
+    assert trace.memory[out.base] == sum(range(0, bound, step))

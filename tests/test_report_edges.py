@@ -1,0 +1,101 @@
+"""Edge-case tests for report helpers and evaluator internals."""
+
+import pytest
+
+from repro.core_model import OOO2
+from repro.dse.report import render_table, geomean, REFERENCE_CORE
+from repro.exocore.evaluator import CoreBaseline, _concat
+from repro.exocore.schedule import ScheduleResult
+from repro.tdg.engine import TimingResult
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2.5, "c": "x"}]
+        text = render_table(rows, columns=("a", "c"))
+        assert "b" not in text.splitlines()[0]
+        assert "x" in text
+
+    def test_float_formatting(self):
+        rows = [{"v": 0.123456}]
+        text = render_table(rows, float_format="{:.1f}")
+        assert "0.1" in text
+
+    def test_missing_cell_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=("a", "b"))
+        assert text.count("\n") == 3
+
+
+class TestReferenceNormalization:
+    def test_reference_core_is_io2(self):
+        assert REFERENCE_CORE == "IO2"
+
+    def test_geomean_of_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+
+class TestEvaluatorHelpers:
+    def test_concat_slices(self):
+        trace = list(range(20))
+        assert _concat(trace, [(0, 3), (10, 12)]) == [0, 1, 2, 10, 11]
+
+    def test_core_baseline_repr(self):
+        baseline = CoreBaseline("OOO2", 1000, 5e6, {}, {})
+        assert "OOO2" in repr(baseline)
+        assert "1000" in repr(baseline)
+
+
+class TestScheduleResult:
+    def test_offloaded_fraction_empty(self):
+        result = ScheduleResult("OOO2", ())
+        assert result.offloaded_fraction == 0.0
+
+    def test_offloaded_fraction_partial(self):
+        result = ScheduleResult("OOO2", ("simd",))
+        result.cycles = 100
+        result._add("gpp", 30, 1.0)
+        result._add("simd", 70, 1.0)
+        assert result.offloaded_fraction == pytest.approx(0.7)
+
+    def test_repr(self):
+        result = ScheduleResult("IO2", ("ns_df", "trace_p"))
+        assert "IO2" in repr(result)
+        assert "ns_df" in repr(result)
+
+
+class TestTimingResult:
+    def test_ipc_zero_cycles(self):
+        assert TimingResult(0, 0, 0).ipc == 0.0
+
+    def test_ipc(self):
+        assert TimingResult(100, 200, 200).ipc == pytest.approx(2.0)
+
+    def test_repr(self):
+        result = TimingResult(50, 100, 100)
+        assert "50 cycles" in repr(result)
+
+
+class TestConfigValidation:
+    def test_in_order_rejects_rob(self):
+        from repro.core_model import CoreConfig
+        with pytest.raises(ValueError):
+            CoreConfig("bad", width=2, rob_size=64, in_order=True)
+
+    def test_ooo_requires_windows(self):
+        from repro.core_model import CoreConfig
+        with pytest.raises(ValueError):
+            CoreConfig("bad", width=2)
+
+    def test_unknown_core_lookup(self):
+        from repro.core_model import core_by_name
+        with pytest.raises(KeyError, match="unknown core"):
+            core_by_name("OOO99")
+
+    def test_fu_count_covers_all_classes(self):
+        from repro.isa.opcodes import OpClass
+        for op_class in OpClass:
+            assert OOO2.fu_count(op_class) >= 1

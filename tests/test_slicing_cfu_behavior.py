@@ -1,0 +1,161 @@
+"""Unit tests for access/execute slicing, CFU scheduling and the
+behavior taxonomy (paper Fig. 6 / Table 2 machinery)."""
+
+import pytest
+
+from repro.accel import AnalysisContext
+from repro.analysis import schedule_cfus, classify_loop, BehaviorClass
+from repro.analysis.behavior import dataflow_ilp
+from repro.analysis.slicing import ROLE_ACCESS, ROLE_CONTROL, ROLE_EXECUTE
+from repro.programs import KernelBuilder
+from repro.tdg import construct_tdg
+
+
+def heavy_compute_kernel():
+    k = KernelBuilder("heavy")
+    a = k.array("a", [float(i % 11) * 0.5 for i in range(128)])
+    c = k.array("c", 128)
+    with k.function("main"):
+        with k.loop(128) as i:
+            v = k.ld(a, i)
+            t1 = k.fmul(v, v)
+            t2 = k.fadd(t1, v)
+            t3 = k.fmul(t2, 0.5)
+            t4 = k.fadd(t3, 1.25)
+            t5 = k.fmul(t4, t2)
+            k.st(c, i, t5)
+        k.halt()
+    return k.build()
+
+
+@pytest.fixture(scope="module")
+def heavy_ctx():
+    program, memory = heavy_compute_kernel()
+    return AnalysisContext(construct_tdg(program, memory))
+
+
+class TestSlicing:
+    def test_memory_on_core(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        info = heavy_ctx.slice_info(loop)
+        for inst in loop.instructions():
+            if inst.is_memory:
+                assert info.role_of(inst.uid) == ROLE_ACCESS
+
+    def test_control_role(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        info = heavy_ctx.slice_info(loop)
+        from repro.isa import Opcode
+        for inst in loop.instructions():
+            if inst.opcode is Opcode.BR:
+                assert info.role_of(inst.uid) == ROLE_CONTROL
+
+    def test_compute_offloaded(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        info = heavy_ctx.slice_info(loop)
+        assert info.offloaded_count >= 5
+
+    def test_address_slice_stays_on_core(self, heavy_ctx):
+        # The induction/address adds must not be offloaded.
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        info = heavy_ctx.slice_info(loop)
+        dep = heavy_ctx.dep_info(loop)
+        for uid in dep.induction_uids:
+            assert info.role_of(uid) != ROLE_EXECUTE
+
+    def test_profitability(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        info = heavy_ctx.slice_info(loop)
+        assert info.profitable
+        assert info.comm_count >= 1
+
+    def test_tiny_compute_unprofitable(self, vector_tdg):
+        # c[i] = a[i]*b[i]+3: 2 compute ops vs 3 comm values.
+        ctx = AnalysisContext(vector_tdg)
+        loop = [l for l in ctx.forest if l.is_inner][0]
+        info = ctx.slice_info(loop)
+        assert not info.profitable
+
+
+class TestCFUScheduling:
+    def test_chains_fused(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        schedule = schedule_cfus(loop, max_cfu_size=4)
+        assert schedule.average_fusion > 1.0
+        assert schedule.compound_count < schedule.scheduled_ops
+
+    def test_max_size_respected(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        for size in (1, 2, 4):
+            schedule = schedule_cfus(loop, max_cfu_size=size)
+            assert all(len(c) <= size for c in schedule.cfus)
+
+    def test_size_one_is_no_fusion(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        schedule = schedule_cfus(loop, max_cfu_size=1)
+        assert schedule.average_fusion == 1.0
+
+    def test_every_compute_op_scheduled(self, heavy_ctx):
+        from repro.isa.opcodes import is_compute, Opcode
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        schedule = schedule_cfus(loop)
+        expected = {
+            inst.uid for inst in loop.instructions()
+            if is_compute(inst.opcode) or inst.opcode is Opcode.MOV
+        }
+        assert set(schedule.cfu_of) == expected
+
+    def test_cross_control_fuses_more(self, branchy_tdg):
+        loop = [l for l in branchy_tdg.loop_tree if l.is_inner][0]
+        within = schedule_cfus(loop, max_cfu_size=6,
+                               cross_control=False)
+        across = schedule_cfus(loop, max_cfu_size=6,
+                               cross_control=True)
+        assert across.average_fusion >= within.average_fusion
+
+    def test_eligible_filter(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        first_uid = next(iter(loop.instructions())).uid
+        schedule = schedule_cfus(loop, eligible_uids={first_uid})
+        assert set(schedule.cfu_of) <= {first_uid}
+
+    def test_fits_budget(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        schedule = schedule_cfus(loop)
+        assert schedule.fits(256)
+        assert not schedule.fits(1)
+
+
+class TestBehaviorTaxonomy:
+    def classify(self, ctx, tdg=None):
+        loop = [l for l in ctx.forest if l.is_inner][0]
+        return classify_loop(ctx.dep_info(loop),
+                             ctx.path_profiles[loop.key],
+                             ctx.slice_info(loop))
+
+    def test_streaming_is_data_parallel(self, vector_tdg):
+        ctx = AnalysisContext(vector_tdg)
+        assert self.classify(ctx) in (
+            BehaviorClass.DATA_PARALLEL_LOW_CONTROL,
+            BehaviorClass.DATA_PARALLEL_SEPARABLE,
+        )
+
+    def test_heavy_separable(self, heavy_ctx):
+        cls = self.classify(heavy_ctx)
+        assert cls in (BehaviorClass.DATA_PARALLEL_SEPARABLE,
+                       BehaviorClass.DATA_PARALLEL_LOW_CONTROL)
+
+    def test_biased_branch_is_consistent_control(self, branchy_tdg):
+        ctx = AnalysisContext(branchy_tdg)
+        assert self.classify(ctx) in (
+            BehaviorClass.CONSISTENT_CONTROL,
+            BehaviorClass.NON_CRITICAL_CONTROL,
+        )
+
+    def test_dataflow_ilp_positive(self, vector_tdg):
+        for loop in vector_tdg.loop_tree:
+            assert dataflow_ilp(loop) >= 1.0
+
+    def test_independent_ops_have_high_ilp(self, heavy_ctx):
+        loop = [l for l in heavy_ctx.forest if l.is_inner][0]
+        assert dataflow_ilp(loop) > 1.0

@@ -1,0 +1,106 @@
+"""Tests for the chip-level / dark-silicon composition layer."""
+
+import pytest
+
+from repro.dse import run_sweep
+from repro.system import (
+    Chip, Tile, build_tile, explore_budgets, best_tile_under_budget,
+)
+from repro.system.chip import UNCORE_AREA
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    return run_sweep(names=("conv", "cjpeg1", "181.mcf"), scale=0.25,
+                     max_invocations=4, with_amdahl=False)
+
+
+class TestTile:
+    def test_build_tile_from_sweep(self, mini_sweep):
+        tile = build_tile(mini_sweep, "OOO2", ("simd",))
+        assert tile.rel_performance > 0
+        assert tile.avg_power_w > 0
+        assert tile.area_mm2 > 0
+        assert tile.name == "OOO2-S"
+
+    def test_exocore_tile_outperforms_plain(self, mini_sweep):
+        plain = build_tile(mini_sweep, "OOO2", ())
+        exo = build_tile(mini_sweep, "OOO2",
+                         ("simd", "dp_cgra", "ns_df", "trace_p"))
+        assert exo.rel_performance > plain.rel_performance
+        assert exo.area_mm2 > plain.area_mm2
+
+    def test_exocore_tile_lower_energy(self, mini_sweep):
+        plain = build_tile(mini_sweep, "OOO2", ())
+        exo = build_tile(mini_sweep, "OOO2",
+                         ("simd", "dp_cgra", "ns_df", "trace_p"))
+        assert exo.energy_per_work_pj < plain.energy_per_work_pj
+
+
+class TestChip:
+    def make_tile(self):
+        return Tile("OOO2", ("simd",), rel_performance=2.0,
+                    energy_per_work_pj=1e6, avg_power_w=1.5)
+
+    def test_area_and_power(self):
+        chip = Chip(self.make_tile(), 4)
+        tile_area = self.make_tile().area_mm2
+        assert chip.area_mm2 == pytest.approx(
+            UNCORE_AREA + 4 * tile_area)
+        assert chip.peak_power_w == pytest.approx(0.5 + 4 * 1.5)
+
+    def test_throughput_scales_with_contention(self):
+        chip = Chip(self.make_tile(), 8)
+        one = chip.throughput(powered_tiles=1)
+        eight = chip.throughput(powered_tiles=8)
+        assert one == pytest.approx(2.0)
+        assert 8 * one * 0.8 < eight < 8 * one
+
+    def test_max_powered_tiles(self):
+        chip = Chip(self.make_tile(), 8)
+        assert chip.max_powered_tiles(tdp_w=0.5 + 3 * 1.5) == 3
+        assert chip.max_powered_tiles(tdp_w=100.0) == 8
+        assert chip.max_powered_tiles(tdp_w=0.4) == 0
+
+    def test_needs_a_tile(self):
+        with pytest.raises(ValueError):
+            Chip(self.make_tile(), 0)
+
+
+class TestDarkSilicon:
+    def test_explore_sorted_by_throughput(self, mini_sweep):
+        points = explore_budgets(mini_sweep, area_mm2=80, tdp_w=12)
+        assert points
+        throughputs = [p.throughput for p in points]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_budget_constraints_respected(self, mini_sweep):
+        points = explore_budgets(mini_sweep, area_mm2=60, tdp_w=8)
+        for point in points:
+            assert point.chip.area_mm2 <= 60 + point.tile.area_mm2
+            assert point.chip.power(point.powered) <= 8 + 1e-9
+            assert 0.0 <= point.dark_fraction < 1.0
+
+    def test_power_limited_chip_has_dark_silicon(self, mini_sweep):
+        # Large area, tiny TDP: most tiles must stay dark.
+        points = explore_budgets(mini_sweep, area_mm2=200, tdp_w=3)
+        assert any(p.dark_fraction > 0.3 for p in points)
+
+    def test_best_tile(self, mini_sweep):
+        best = best_tile_under_budget(mini_sweep, area_mm2=80,
+                                      tdp_w=10)
+        assert best.throughput > 0
+
+    def test_specialization_wins_when_power_limited(self, mini_sweep):
+        """The dark-silicon argument: under a tight TDP, ExoCore tiles
+        deliver more throughput than plain cores despite larger area."""
+        points = explore_budgets(mini_sweep, area_mm2=150, tdp_w=6)
+        by_name = {p.tile.name: p for p in points}
+        plain = by_name.get("OOO2--")
+        exo = by_name.get("OOO2-SDNT")
+        if plain is not None and exo is not None:
+            assert exo.throughput > plain.throughput
+
+    def test_impossible_budget_raises(self, mini_sweep):
+        with pytest.raises(ValueError):
+            best_tile_under_budget(mini_sweep, area_mm2=7, tdp_w=0.1)

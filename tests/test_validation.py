@@ -1,0 +1,71 @@
+"""Tests for the Table 1 / Fig. 5 validation harness."""
+
+import pytest
+
+from repro.validation import (
+    cross_validate_cores, validate_accelerator, table1, TABLE1_ROWS,
+)
+
+
+@pytest.fixture(scope="module")
+def cross_points():
+    return cross_validate_cores(
+        "OOO1", "OOO8",
+        benchmarks=("conv", "spmv", "kmeans", "181.mcf"), scale=0.2)
+
+
+class TestCrossValidation:
+    def test_points_have_both_sides(self, cross_points):
+        ipc_points, ipe_points = cross_points
+        assert len(ipc_points) == 4
+        assert len(ipe_points) == 4
+        for p in ipc_points + ipe_points:
+            assert p.predicted > 0 and p.reference > 0
+
+    def test_core_error_within_paper_bound(self, cross_points):
+        """Paper Table 1: OOO cross-validation within ~4%."""
+        ipc_points, _ = cross_points
+        mean = sum(p.error for p in ipc_points) / len(ipc_points)
+        assert mean < 0.10
+
+    def test_error_metric(self):
+        from repro.validation.harness import ValidationPoint
+        p = ValidationPoint("x", 1.1, 1.0)
+        assert p.error == pytest.approx(0.1)
+        assert ValidationPoint("x", 5.0, 0.0).error == 0.0
+
+
+class TestAcceleratorValidation:
+    @pytest.mark.parametrize("bsa", ["simd", "ns_df", "trace_p"])
+    def test_fast_vs_detailed_error_bounded(self, bsa):
+        """Paper Table 1: accelerator validation within ~15%."""
+        speedups, energies = validate_accelerator(
+            bsa, benchmarks=("conv", "stencil", "181.mcf",
+                             "256.bzip2"), scale=0.2)
+        assert speedups, f"no {bsa} points"
+        mean = sum(p.error for p in speedups) / len(speedups)
+        assert mean < 0.20
+        mean_e = sum(p.error for p in energies) / len(energies)
+        assert mean_e < 0.20
+
+    def test_fast_mode_optimistic_vs_detailed(self):
+        """The fast model's predicted speedups sit at or above the
+        detailed reference (documented approximation direction)."""
+        speedups, _ = validate_accelerator(
+            "simd", benchmarks=("conv", "stencil"), scale=0.2)
+        for p in speedups:
+            assert p.predicted >= p.reference * 0.95
+
+
+class TestTable1:
+    def test_rows_cover_paper(self):
+        labels = [row[0] for row in TABLE1_ROWS]
+        assert labels == ["OOO8->1", "OOO1->8", "C-Cores", "BERET",
+                          "SIMD", "DySER"]
+
+    def test_table_regenerates(self):
+        rows = table1(scale=0.15)
+        assert len(rows) == 6
+        for row in rows:
+            assert 0 <= row["perf_err"] < 0.5
+            assert row["perf_range"][1] >= row["perf_range"][0]

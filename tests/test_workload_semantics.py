@@ -1,0 +1,177 @@
+"""Functional-correctness tests: workloads compute the right answers.
+
+These validate the interpreter + builder + kernel implementations
+end-to-end by recomputing each kernel's expected output in plain
+Python from the same deterministic inputs.
+"""
+
+import pytest
+
+from repro.sim import run_program
+from repro.workloads import WORKLOADS
+from repro.workloads.base import fdata, idata
+
+
+def run(name, scale):
+    builder = WORKLOADS[name].factory(scale)
+    program, memory = builder.build()
+    trace = run_program(program, memory, max_instructions=4_000_000)
+    return builder, trace.memory
+
+
+class TestConv:
+    def test_convolution_values(self):
+        builder, memory = run("conv", 0.2)
+        n = builder.arrays["dst"].length
+        src = fdata("conv", n + 5)
+        weights = fdata("conv", 5, salt=1)
+        dst_base = builder.arrays["dst"].base
+        for i in (0, 1, n // 2, n - 1):
+            expected = sum(src[i + t] * weights[t] for t in range(5))
+            assert memory[dst_base + i] == pytest.approx(expected)
+
+
+class TestMergeSortedness:
+    def test_output_sorted_and_complete(self):
+        builder, memory = run("merge", 0.2)
+        out = builder.arrays["out"]
+        left = builder.arrays["left"]
+        right = builder.arrays["right"]
+        merged = memory[out.base:out.base + out.length]
+        assert merged == sorted(merged)
+        expected = sorted(memory[left.base:left.base + left.length]
+                          + memory[right.base:right.base
+                                   + right.length])
+        assert merged == pytest.approx(expected)
+
+
+class TestMM:
+    def test_matrix_product(self):
+        builder, memory = run("mm", 0.5)
+        n_sq = builder.arrays["c"].length
+        n = int(round(n_sq ** 0.5))
+        a = fdata("mm", n * n)
+        b = fdata("mm", n * n, salt=1)
+        c_base = builder.arrays["c"].base
+        for i, j in ((0, 0), (n - 1, n - 1), (1, n // 2)):
+            expected = sum(a[i * n + x] * b[x * n + j]
+                           for x in range(n))
+            assert memory[c_base + i * n + j] == pytest.approx(expected)
+
+
+class TestStencil:
+    def test_jacobi_sweep(self):
+        builder, memory = run("stencil", 0.2)
+        dst = builder.arrays["dst"]
+        src = builder.arrays["src"]
+        # Final pass reads the (unmodified) src array.
+        src_vals = memory[src.base:src.base + src.length]
+        for i in (0, 5, dst.length - 3):
+            expected = (src_vals[i] + src_vals[i + 1]
+                        + src_vals[i + 2]) * 0.3333
+            assert memory[dst.base + i + 1] == pytest.approx(expected)
+
+
+class TestKmeans:
+    def test_assignments_are_nearest(self):
+        builder, memory = run("kmeans", 0.2)
+        assign = builder.arrays["assign"]
+        points = assign.length
+        px = fdata("kmeans", points)
+        py = fdata("kmeans", points, salt=1)
+        cx = fdata("kmeans", 8, salt=2)
+        cy = fdata("kmeans", 8, salt=3)
+        for p in range(0, points, 7):
+            dists = [(px[p] - cx[c]) ** 2 + (py[p] - cy[c]) ** 2
+                     for c in range(8)]
+            assert memory[assign.base + p] == dists.index(min(dists))
+
+
+class TestNeedle:
+    def test_dp_recurrence(self):
+        builder, memory = run("needle", 0.3)
+        score = builder.arrays["score"]
+        n = int(round(score.length ** 0.5)) - 1
+        penalty = idata("needle", n * n, low=-3, high=3)
+        width = n + 1
+        # Recompute the full DP table.
+        expected = [[0.0] * width for _ in range(width)]
+        for i in range(n):
+            for j in range(n):
+                expected[i + 1][j + 1] = max(
+                    expected[i][j] + penalty[i * n + j],
+                    expected[i][j + 1] - 1.0,
+                    expected[i + 1][j] - 1.0)
+        for i, j in ((n, n), (1, 1), (n // 2, n - 1)):
+            assert memory[score.base + i * width + j] == \
+                pytest.approx(expected[i][j])
+
+
+class TestTpch1:
+    def test_aggregates(self):
+        builder, memory = run("tpch1", 0.2)
+        rows = builder.arrays["qty"].length
+        qty = fdata("tpch1", rows, low=1.0, high=50.0)
+        price = fdata("tpch1", rows, low=1.0, high=100.0, salt=1)
+        disc = fdata("tpch1", rows, low=0.0, high=0.1, salt=2)
+        flags = idata("tpch1", rows, low=0, high=3, salt=3)
+        sum_qty = sum(qty[i] for i in range(rows) if flags[i] < 3)
+        count = sum(1 for i in range(rows) if flags[i] < 3)
+        sums = builder.arrays["sums"].base
+        assert memory[sums] == pytest.approx(sum_qty)
+        assert memory[sums + 3] == pytest.approx(count)
+
+
+class TestSpmv:
+    def test_sparse_product(self):
+        builder, memory = run("spmv", 0.3)
+        out = builder.arrays["out"]
+        rows = out.length
+        nnz = 6
+        vals = fdata("spmv", rows * nnz)
+        vec = fdata("spmv", rows, salt=1)
+        cols = memory[builder.arrays["col_idx"].base:
+                      builder.arrays["col_idx"].base + rows * nnz]
+        for r in (0, rows // 2, rows - 1):
+            expected = sum(vals[r * nnz + e] * vec[cols[r * nnz + e]]
+                           for e in range(nnz))
+            assert memory[out.base + r] == pytest.approx(expected)
+
+
+class TestHmmer:
+    def test_viterbi_rows(self):
+        builder, memory = run("456.hmmer", 0.3)
+        mmx = builder.arrays["mmx"]
+        states = mmx.length - 1
+        rows = 12
+        match = idata("hmmer", rows * states, low=-10, high=10)
+        m = [0] * (states + 1)
+        i_row = [0] * (states + 1)
+        for r in range(rows):
+            new_m = list(m)
+            new_i = list(i_row)
+            for s in range(states):
+                e = match[r * states + s]
+                best = max(new_m[s] + e, new_i[s] + e)
+                new_m[s + 1] = best
+                new_i[s + 1] = max(best, new_i[s])
+            m, i_row = new_m, new_i
+        assert memory[mmx.base:mmx.base + states + 1] == m
+
+
+class TestGcc:
+    def test_constant_folds(self):
+        builder, memory = run("403.gcc", 0.2)
+        folded = builder.arrays["folded"]
+        n = folded.length
+        opcodes = idata("gcc", n, low=0, high=9)
+        operands = idata("gcc", n, low=0, high=63, salt=1)
+        for i in (0, n // 3, n - 1):
+            op_code, val = opcodes[i], operands[i]
+            if op_code < 4:
+                expected = val + 1
+            elif op_code < 7:
+                expected = val * 2
+            else:
+                expected = val ^ 21
+            assert memory[folded.base + i] == expected
