@@ -94,13 +94,27 @@ def _cmd_classify(args):
 
 def _cmd_sweep(args):
     from repro.dse import run_sweep, fig10_table, fig12_table
-    from repro.dse.report import render_table
+    from repro.dse.report import (
+        render_table, sweep_stats_summary, sweep_stats_table,
+    )
     from repro.dse.plots import frontier_plot
     names = args.names or None
     sweep = run_sweep(names=names, scale=args.scale,
                       with_amdahl=False,
+                      workers=args.workers,
+                      cache_dir=args.cache_dir,
+                      use_cache=not args.no_cache,
                       progress=lambda n: print("  ...", n,
                                                file=sys.stderr))
+    summary = sweep_stats_summary(sweep)
+    print(f"[sweep] {summary['benchmarks']} benchmarks in "
+          f"{summary['total_seconds']:.1f}s "
+          f"(workers={summary['workers']}, "
+          f"cache hits={summary['cache_hits']}, "
+          f"misses={summary['cache_misses']}, "
+          f"dir={summary['cache_dir']})", file=sys.stderr)
+    if args.timings:
+        print(render_table(sweep_stats_table(sweep)), file=sys.stderr)
     print("== Fig 10: tradeoffs ==")
     print(render_table(fig10_table(sweep)))
     rows = fig12_table(sweep)
@@ -149,6 +163,17 @@ def build_parser():
     p = sub.add_parser("sweep", help="design-space exploration")
     p.add_argument("names", nargs="*")
     p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--workers", type=int, default=1,
+                   help="benchmark-evaluation process pool width "
+                        "(results are identical for any value)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="force a cold run: neither read nor write "
+                        "the on-disk evaluation cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-dse)")
+    p.add_argument("--timings", action="store_true",
+                   help="print the per-benchmark timing table")
 
     p = sub.add_parser("validate", help="Table 1 validation")
     p.add_argument("--scale", type=float, default=0.3)

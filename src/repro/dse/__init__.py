@@ -2,33 +2,57 @@
 
 Runs benchmarks through the TDG pipeline across 4 general cores x 16
 BSA subsets (64 ExoCore design points) and aggregates the series each
-figure of the paper reports.
+figure of the paper reports.  The sweep engine shards benchmarks
+across worker processes and memoizes per-benchmark evaluations in a
+content-addressed on-disk cache (see :mod:`repro.dse.sweep`,
+:mod:`repro.dse.parallel` and :mod:`repro.dse.cache`).
 """
 
 from repro.dse.sweep import (
-    BenchmarkResult, SweepResult, run_sweep, ALL_SUBSETS, subset_label,
+    BenchmarkResult, SweepResult, SweepStats, run_sweep,
+    evaluate_one_benchmark, record_to_json, record_from_json,
+    ALL_SUBSETS, subset_label,
+)
+from repro.dse.cache import (
+    SweepCache, cache_key, default_cache_dir, engine_version_hash,
 )
 from repro.dse.report import (
     fig10_table, fig11_table, fig12_table, fig13_table, fig15_table,
-    geomean,
+    geomean, sweep_stats_table, sweep_stats_summary,
 )
-from repro.dse.persist import save_sweep, load_sweep
+from repro.dse.persist import (
+    save_sweep, load_sweep, dumps_sweep, sweep_to_payload,
+    sweep_from_payload,
+)
 from repro.dse.plots import ascii_scatter, frontier_plot
 
 __all__ = [
     "BenchmarkResult",
     "SweepResult",
+    "SweepStats",
     "run_sweep",
+    "evaluate_one_benchmark",
+    "record_to_json",
+    "record_from_json",
     "ALL_SUBSETS",
     "subset_label",
+    "SweepCache",
+    "cache_key",
+    "default_cache_dir",
+    "engine_version_hash",
     "fig10_table",
     "fig11_table",
     "fig12_table",
     "fig13_table",
     "fig15_table",
     "geomean",
+    "sweep_stats_table",
+    "sweep_stats_summary",
     "save_sweep",
     "load_sweep",
+    "dumps_sweep",
+    "sweep_to_payload",
+    "sweep_from_payload",
     "ascii_scatter",
     "frontier_plot",
 ]

@@ -1,0 +1,167 @@
+"""Content-addressed on-disk cache for per-benchmark sweep results.
+
+A full 48-benchmark sweep re-simulates and re-times every benchmark on
+every invocation — the exact cost the TDG methodology exists to avoid.
+This module gives :func:`repro.dse.run_sweep` a persistent memo: each
+benchmark evaluation is stored under a key derived from everything that
+can change its result (workload name, scale, the full parameter set of
+every core config, the BSA subsets, evaluation knobs, and a hash of the
+modeling source itself), so cache entries invalidate automatically when
+any modeling code or configuration changes.
+
+Entries are written atomically (temp file + rename), so a sweep killed
+mid-run leaves only complete entries behind and the next invocation
+resumes from them.  Corrupt or truncated entries are discarded with a
+warning, never crashing the sweep.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro.core_model import core_by_name
+
+#: Bumped when the cached record layout changes (forces a cold run).
+CACHE_FORMAT = 1
+
+#: Packages whose source participates in :func:`engine_version_hash` —
+#: everything between a workload definition and a schedule summary.
+_ENGINE_PACKAGES = (
+    "accel", "analysis", "core_model", "energy", "exocore", "isa",
+    "programs", "sim", "tdg", "workloads",
+)
+
+#: Individual modules outside those packages that also shape results.
+_ENGINE_FILES = ("dse/sweep.py",)
+
+#: CoreConfig attributes that participate in the cache key.
+_CORE_ATTRS = (
+    "name", "width", "rob_size", "iq_size", "dcache_ports",
+    "alu_units", "mul_units", "fp_units", "in_order", "decode_depth",
+    "branch_penalty", "vector_len",
+)
+
+_engine_hash = None
+
+
+def engine_version_hash():
+    """Digest of the modeling source tree (memoized per process).
+
+    Any edit to the simulator, TDG engine, BSA models, schedulers,
+    energy models or workload definitions yields a new hash and thus a
+    cold cache — stale results can never be served after a code change.
+    """
+    global _engine_hash
+    if _engine_hash is None:
+        import repro
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        paths = [root / rel for rel in _ENGINE_FILES]
+        for package in _ENGINE_PACKAGES:
+            paths.extend((root / package).rglob("*.py"))
+        for path in sorted(paths):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _engine_hash = digest.hexdigest()[:16]
+    return _engine_hash
+
+
+def _core_signature(core_name):
+    """Full parameter set of a core config (not just its name)."""
+    config = core_by_name(core_name)
+    return {attr: getattr(config, attr) for attr in _CORE_ATTRS}
+
+
+def cache_key(name, scale, core_names, subsets, max_invocations,
+              with_amdahl, engine_hash=None):
+    """Content hash of one benchmark evaluation's inputs."""
+    material = {
+        "format": CACHE_FORMAT,
+        "benchmark": name,
+        "scale": float(scale),
+        "cores": [_core_signature(core) for core in core_names],
+        "subsets": [list(subset) for subset in subsets],
+        "max_invocations": int(max_invocations),
+        "with_amdahl": bool(with_amdahl),
+        "engine": engine_hash if engine_hash is not None
+        else engine_version_hash(),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dse``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-dse"
+
+
+class SweepCache:
+    """Directory of content-addressed benchmark records.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fan-out keeps
+    directory listings short for large sweeps.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def path_for(self, key):
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key):
+        """Return the cached record payload, or None on miss.
+
+        A corrupt / truncated / unreadable entry is deleted and
+        reported as a warning; an entry written by a different cache
+        format is a silent miss.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not an object")
+            if payload.get("format") != CACHE_FORMAT:
+                return None
+            return payload["record"]
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, OSError) as exc:
+            warnings.warn(
+                f"discarding corrupt sweep cache entry {path}: {exc}",
+                RuntimeWarning, stacklevel=2)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, key, record):
+        """Atomically persist one benchmark record under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "key": key, "record": record}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key):
+        return self.path_for(key).exists()

@@ -1,0 +1,71 @@
+"""Process-pool fan-out for the design-space sweep.
+
+Benchmarks are embarrassingly parallel — each one builds its own TDG
+and never shares state with the others — so the sweep shards them
+across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers
+return plain JSON-able record payloads (the same form the on-disk
+cache stores), which the parent merges deterministically regardless of
+completion order.
+"""
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def evaluate_task(task):
+    """Worker entry point: evaluate one benchmark.
+
+    *task* is a plain dict (picklable across the pool boundary) with
+    keys ``name``, ``core_names``, ``subsets``, ``scale``,
+    ``max_invocations`` and ``with_amdahl``.  Returns
+    ``(name, record_payload, seconds)`` where *record_payload* is the
+    JSON form of a :class:`~repro.dse.sweep.BenchmarkResult`.
+    """
+    # Imported lazily: workers under the ``spawn`` start method import
+    # this module before the rest of the package is loaded.
+    from repro.dse.sweep import evaluate_one_benchmark, record_to_json
+
+    started = time.perf_counter()
+    record = evaluate_one_benchmark(
+        task["name"],
+        core_names=tuple(task["core_names"]),
+        subsets=tuple(tuple(s) for s in task["subsets"]),
+        scale=task["scale"],
+        max_invocations=task["max_invocations"],
+        with_amdahl=task["with_amdahl"],
+    )
+    elapsed = time.perf_counter() - started
+    return task["name"], record_to_json(record), elapsed
+
+
+def run_tasks(tasks, workers=1, on_result=None):
+    """Evaluate *tasks*, fanning out across *workers* processes.
+
+    ``workers <= 1`` runs inline (no subprocesses, easier debugging).
+    *on_result* is called as ``on_result(name, payload, seconds)`` as
+    each benchmark completes — in submission order when serial, in
+    completion order when parallel — which is what lets the sweep
+    persist finished benchmarks immediately (incremental resume).
+
+    Returns ``{name: payload}``; ordering is NOT significant — callers
+    must merge deterministically (the sweep sorts by name).
+    """
+    tasks = list(tasks)
+    results = {}
+    if workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            name, payload, elapsed = evaluate_task(task)
+            results[name] = payload
+            if on_result is not None:
+                on_result(name, payload, elapsed)
+        return results
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) \
+            as pool:
+        futures = {pool.submit(evaluate_task, task): task["name"]
+                   for task in tasks}
+        for future in as_completed(futures):
+            name, payload, elapsed = future.result()
+            results[name] = payload
+            if on_result is not None:
+                on_result(name, payload, elapsed)
+    return results

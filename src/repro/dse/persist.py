@@ -3,48 +3,59 @@
 A full 48-benchmark sweep takes minutes; persisting its compact
 records lets report tables, plots and the chip-level exploration be
 re-run instantly (and lets CI pin a reference result).
+
+Serialization is canonical — benchmarks in sorted-name order, object
+keys sorted, minimal separators — so two equal sweeps always produce
+byte-identical files regardless of how they were computed (worker
+count, shard order, cache state).  The determinism test suite relies
+on this.
 """
 
 import json
 
-from repro.dse.sweep import BenchmarkResult, SweepResult
+from repro.dse.sweep import (
+    SweepResult, key_to_subset, record_from_json, record_to_json,
+    subset_to_key,
+)
 
 #: Bumped when the record layout changes.
 FORMAT_VERSION = 1
 
 
-def _subset_to_key(subset):
-    return ",".join(subset)
+def sweep_to_payload(sweep):
+    """JSON-able payload for a :class:`SweepResult`."""
+    return {
+        "format": FORMAT_VERSION,
+        "core_names": list(sweep.core_names),
+        "subsets": [subset_to_key(s) for s in sweep.subsets],
+        "benchmarks": {record.name: record_to_json(record)
+                       for record in sweep.benchmarks()},
+    }
 
 
-def _key_to_subset(key):
-    return tuple(b for b in key.split(",") if b)
+def sweep_from_payload(payload):
+    """Rebuild a :class:`SweepResult` from :func:`sweep_to_payload`."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sweep format {payload.get('format')!r}")
+    core_names = tuple(payload["core_names"])
+    subsets = tuple(key_to_subset(k) for k in payload["subsets"])
+    sweep = SweepResult(core_names, subsets)
+    for name, data in payload["benchmarks"].items():
+        sweep.add(record_from_json(name, data, core_names, subsets))
+    return sweep
+
+
+def dumps_sweep(sweep):
+    """Canonical string serialization (deterministic bytes)."""
+    return json.dumps(sweep_to_payload(sweep), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def save_sweep(sweep, path):
-    """Serialize *sweep* to a JSON file."""
-    payload = {
-        "format": FORMAT_VERSION,
-        "core_names": list(sweep.core_names),
-        "subsets": [_subset_to_key(s) for s in sweep.subsets],
-        "benchmarks": {},
-    }
-    for record in sweep.benchmarks():
-        payload["benchmarks"][record.name] = {
-            "suite": record.suite,
-            "category": record.category,
-            "baseline": {core: list(v)
-                         for core, v in record.baseline.items()},
-            "oracle": {
-                f"{core}|{_subset_to_key(subset)}":
-                    _summary_to_json(summary)
-                for (core, subset), summary in record.oracle.items()
-            },
-            "amdahl": {core: _summary_to_json(summary)
-                       for core, summary in record.amdahl.items()},
-        }
+    """Serialize *sweep* to a JSON file (canonical form)."""
     with open(path, "w") as handle:
-        json.dump(payload, handle)
+        handle.write(dumps_sweep(sweep))
     return path
 
 
@@ -52,42 +63,4 @@ def load_sweep(path):
     """Reconstruct a :class:`SweepResult` from :func:`save_sweep`."""
     with open(path) as handle:
         payload = json.load(handle)
-    if payload.get("format") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported sweep format {payload.get('format')!r}")
-    sweep = SweepResult(
-        tuple(payload["core_names"]),
-        tuple(_key_to_subset(k) for k in payload["subsets"]),
-    )
-    for name, data in payload["benchmarks"].items():
-        record = BenchmarkResult(name, data["suite"], data["category"])
-        record.baseline = {core: tuple(v)
-                           for core, v in data["baseline"].items()}
-        for key, summary in data["oracle"].items():
-            core, subset_key = key.split("|", 1)
-            record.oracle[(core, _key_to_subset(subset_key))] = \
-                _summary_from_json(summary)
-        record.amdahl = {core: _summary_from_json(summary)
-                         for core, summary in
-                         data.get("amdahl", {}).items()}
-        sweep.add(record)
-    return sweep
-
-
-def _summary_to_json(summary):
-    """Loop keys are (function, label) tuples; JSON needs strings."""
-    out = dict(summary)
-    out["assignment"] = {
-        f"{function}/{label}": unit
-        for (function, label), unit in summary["assignment"].items()
-    }
-    return out
-
-
-def _summary_from_json(summary):
-    out = dict(summary)
-    out["assignment"] = {
-        tuple(key.split("/", 1)): unit
-        for key, unit in summary["assignment"].items()
-    }
-    return out
+    return sweep_from_payload(payload)

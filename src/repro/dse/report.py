@@ -132,6 +132,40 @@ def fig15_table(sweep, core="OOO2", suite="mediabench"):
     return rows
 
 
+def sweep_stats_table(sweep_or_stats):
+    """Per-benchmark progress rows for a sweep's :class:`SweepStats`.
+
+    Accepts a :class:`~repro.dse.sweep.SweepResult` (whose ``stats``
+    attribute :func:`~repro.dse.sweep.run_sweep` fills in) or a
+    :class:`~repro.dse.sweep.SweepStats` directly.  Returns one row
+    per benchmark — where the result came from and how long it took —
+    suitable for :func:`render_table`.
+    """
+    stats = getattr(sweep_or_stats, "stats", sweep_or_stats)
+    if stats is None:
+        return []
+    return [{"benchmark": entry["name"],
+             "source": entry["source"],
+             "seconds": entry["seconds"]}
+            for entry in sorted(stats.entries,
+                                key=lambda e: e["name"])]
+
+
+def sweep_stats_summary(sweep_or_stats):
+    """Sweep-level counters: cache hits/misses, workers, wall time."""
+    stats = getattr(sweep_or_stats, "stats", sweep_or_stats)
+    if stats is None:
+        return {}
+    return {
+        "benchmarks": len(stats.entries),
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "workers": stats.workers,
+        "cache_dir": stats.cache_dir,
+        "total_seconds": stats.total_seconds,
+    }
+
+
 def render_table(rows, columns=None, float_format="{:.3f}"):
     """Plain-text table rendering for the benchmark harness output."""
     if not rows:

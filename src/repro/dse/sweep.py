@@ -4,9 +4,18 @@ Each benchmark is simulated once; every (core, subset) ExoCore point is
 then composed from per-region estimates by the Oracle scheduler — the
 workflow the TDG exists to make tractable (64 design points, paper
 Fig. 12).
+
+The sweep engine shards benchmarks across worker processes
+(``run_sweep(..., workers=N)``) and memoizes per-benchmark evaluations
+in a content-addressed on-disk cache (:mod:`repro.dse.cache`), so a
+killed sweep resumes from its completed benchmarks and a warm rerun is
+pure I/O.  Results are merged in sorted-benchmark order from canonical
+record payloads, making the outcome bit-identical regardless of worker
+count, shard order, or cache state.
 """
 
 import itertools
+import time
 
 from repro.accel import BSA_LETTER
 from repro.core_model.config import DSE_CORES
@@ -69,6 +78,122 @@ def _summarize(schedule):
     }
 
 
+# ---------------------------------------------------------------------------
+# Canonical record (de)serialization — shared by the persistence layer,
+# the on-disk cache, and the worker/parent boundary of the pool.
+
+def subset_to_key(subset):
+    return ",".join(subset)
+
+
+def key_to_subset(key):
+    return tuple(b for b in key.split(",") if b)
+
+
+def _summary_to_json(summary):
+    """Loop keys are (function, label) tuples; JSON needs strings."""
+    out = dict(summary)
+    out["assignment"] = {
+        f"{function}/{label}": unit
+        for (function, label), unit in summary["assignment"].items()
+    }
+    return out
+
+
+def _summary_from_json(summary):
+    out = dict(summary)
+    out["assignment"] = {
+        tuple(key.split("/", 1)): unit
+        for key, unit in summary["assignment"].items()
+    }
+    return out
+
+
+def record_to_json(record):
+    """JSON-able payload for one :class:`BenchmarkResult`."""
+    return {
+        "suite": record.suite,
+        "category": record.category,
+        "baseline": {core: list(v)
+                     for core, v in record.baseline.items()},
+        "oracle": {
+            f"{core}|{subset_to_key(subset)}": _summary_to_json(summary)
+            for (core, subset), summary in record.oracle.items()
+        },
+        "amdahl": {core: _summary_to_json(summary)
+                   for core, summary in record.amdahl.items()},
+    }
+
+
+def record_from_json(name, data, core_names=None, subsets=None):
+    """Rebuild a :class:`BenchmarkResult` from :func:`record_to_json`.
+
+    When *core_names* / *subsets* are given, the oracle and amdahl
+    maps are rebuilt in canonical (core-major, subset-minor) iteration
+    order, so a record reconstructed from the cache or a worker is
+    indistinguishable from one computed inline.
+    """
+    record = BenchmarkResult(name, data["suite"], data["category"])
+    record.baseline = {core: tuple(v)
+                       for core, v in data["baseline"].items()}
+    oracle = {}
+    for key, summary in data["oracle"].items():
+        core, subset_key = key.split("|", 1)
+        oracle[(core, key_to_subset(subset_key))] = \
+            _summary_from_json(summary)
+    amdahl = {core: _summary_from_json(summary)
+              for core, summary in data.get("amdahl", {}).items()}
+    if core_names is not None:
+        ordered = {}
+        for core in core_names:
+            for subset in (subsets or ()):
+                if (core, subset) in oracle:
+                    ordered[(core, subset)] = oracle.pop((core, subset))
+        ordered.update(oracle)   # defensively keep any extra points
+        oracle = ordered
+        amdahl = {core: amdahl[core] for core in core_names
+                  if core in amdahl}
+    record.oracle = oracle
+    record.amdahl = amdahl
+    return record
+
+
+class SweepStats:
+    """Structured progress record for one :func:`run_sweep` call.
+
+    One entry per benchmark: where its result came from (``computed``
+    or ``cached``) and how long it took, plus sweep-level counters the
+    report layer surfaces (:func:`repro.dse.report.sweep_stats_table`).
+    """
+
+    def __init__(self, workers=1, cache_dir=None):
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None \
+            else None
+        self.entries = []    # {"name", "source", "seconds"}
+
+    def add(self, name, source, seconds):
+        self.entries.append(
+            {"name": name, "source": source, "seconds": seconds})
+
+    @property
+    def hits(self):
+        return sum(1 for e in self.entries if e["source"] == "cached")
+
+    @property
+    def misses(self):
+        return sum(1 for e in self.entries if e["source"] == "computed")
+
+    @property
+    def total_seconds(self):
+        return sum(e["seconds"] for e in self.entries)
+
+    def __repr__(self):
+        return (f"<SweepStats {len(self.entries)} benchmarks: "
+                f"{self.hits} cached, {self.misses} computed, "
+                f"{self.total_seconds:.2f}s, workers={self.workers}>")
+
+
 class SweepResult:
     """All benchmark records plus sweep-level metadata."""
 
@@ -76,6 +201,7 @@ class SweepResult:
         self.core_names = tuple(core_names)
         self.subsets = tuple(subsets)
         self.results = {}    # benchmark name -> BenchmarkResult
+        self.stats = None    # SweepStats, set by run_sweep
 
     def add(self, record):
         self.results[record.name] = record
@@ -90,9 +216,39 @@ class SweepResult:
         return len(self.results)
 
 
+def evaluate_one_benchmark(name, core_names=DSE_CORES,
+                           subsets=ALL_SUBSETS, scale=1.0,
+                           max_invocations=8, with_amdahl=True):
+    """Evaluate one benchmark; the per-benchmark unit of the sweep.
+
+    Builds the TDG, costs every (core, BSA) pair, and composes every
+    (core, subset) design point.  Pure function of its arguments —
+    this is what makes per-benchmark results cacheable and the sweep
+    shardable across processes.
+    """
+    workload = WORKLOADS[name]
+    tdg = workload.construct_tdg(scale=scale)
+    evaluation = evaluate_benchmark(
+        tdg, core_names=core_names, bsa_names=ALL_BSAS,
+        max_invocations=max_invocations, name=name)
+    record = BenchmarkResult(name, workload.suite, workload.category)
+    for core in core_names:
+        base = evaluation.baseline(core)
+        record.baseline[core] = (base.cycles, base.energy_pj,
+                                 len(tdg.trace))
+    for core in core_names:
+        for subset in subsets:
+            schedule = oracle_schedule(evaluation, core, subset)
+            record.oracle[(core, subset)] = _summarize(schedule)
+        if with_amdahl:
+            schedule = amdahl_schedule(evaluation, core, ALL_BSAS)
+            record.amdahl[core] = _summarize(schedule)
+    return record
+
+
 def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
               scale=1.0, max_invocations=8, with_amdahl=True,
-              progress=None):
+              progress=None, workers=1, cache_dir=None, use_cache=None):
     """Run the design-space exploration.
 
     Parameters
@@ -105,29 +261,86 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
         Also run the Amdahl-tree scheduler for the full BSA set
         (needed by the Fig. 15 comparison).
     progress:
-        Optional callback(name) per benchmark.
+        Optional callback(name) per benchmark (called as each
+        benchmark resolves — from cache or computation).
+    workers:
+        Process-pool width for benchmark evaluation; ``1`` (default)
+        runs inline.  Results are bit-identical for any value.
+    cache_dir:
+        Directory for the content-addressed per-benchmark cache.
+        ``None`` with ``use_cache=True`` selects
+        :func:`repro.dse.cache.default_cache_dir`.
+    use_cache:
+        Enable the on-disk cache.  Defaults to ``True`` when
+        *cache_dir* is given, else ``False`` (library calls stay
+        side-effect-free unless asked).
+
+    Returns a :class:`SweepResult` whose ``stats`` attribute records
+    per-benchmark timing and cache hit/miss counts.
     """
+    from repro.dse.cache import SweepCache, cache_key, default_cache_dir
+    from repro.dse.parallel import run_tasks
+
     names = list(names) if names is not None else sorted(WORKLOADS)
-    sweep = SweepResult(core_names, subsets)
+    names = list(dict.fromkeys(names))      # dedupe, keep given order
+    core_names = tuple(core_names)
+    subsets = tuple(tuple(s) for s in subsets)
+
+    if use_cache is None:
+        use_cache = cache_dir is not None
+    cache = None
+    if use_cache:
+        cache = SweepCache(cache_dir if cache_dir is not None
+                           else default_cache_dir())
+
+    stats = SweepStats(workers=workers,
+                       cache_dir=cache.root if cache else None)
+
+    payloads = {}
+    keys = {}
+    pending = []
     for name in names:
-        workload = WORKLOADS[name]
+        if name not in WORKLOADS:
+            raise KeyError(f"unknown workload {name!r}")
+        if cache is not None:
+            started = time.perf_counter()
+            keys[name] = cache_key(name, scale, core_names, subsets,
+                                   max_invocations, with_amdahl)
+            payload = cache.load(keys[name])
+            if payload is not None:
+                payloads[name] = payload
+                stats.add(name, "cached", time.perf_counter() - started)
+                if progress is not None:
+                    progress(name)
+                continue
+        pending.append({
+            "name": name,
+            "core_names": core_names,
+            "subsets": subsets,
+            "scale": scale,
+            "max_invocations": max_invocations,
+            "with_amdahl": with_amdahl,
+        })
+
+    def on_result(name, payload, elapsed):
+        payloads[name] = payload
+        # Persist immediately so a killed sweep resumes from every
+        # benchmark that finished, not just the ones before a barrier.
+        if cache is not None:
+            cache.store(keys[name], payload)
+        stats.add(name, "computed", elapsed)
         if progress is not None:
             progress(name)
-        tdg = workload.construct_tdg(scale=scale)
-        evaluation = evaluate_benchmark(
-            tdg, core_names=core_names, bsa_names=ALL_BSAS,
-            max_invocations=max_invocations, name=name)
-        record = BenchmarkResult(name, workload.suite, workload.category)
-        for core in core_names:
-            base = evaluation.baseline(core)
-            record.baseline[core] = (base.cycles, base.energy_pj,
-                                     len(tdg.trace))
-        for core in core_names:
-            for subset in subsets:
-                schedule = oracle_schedule(evaluation, core, subset)
-                record.oracle[(core, subset)] = _summarize(schedule)
-            if with_amdahl:
-                schedule = amdahl_schedule(evaluation, core, ALL_BSAS)
-                record.amdahl[core] = _summarize(schedule)
-        sweep.add(record)
+
+    run_tasks(pending, workers=workers, on_result=on_result)
+
+    # Deterministic merge: records enter the result in sorted-name
+    # order, rebuilt from canonical payloads, so worker count, shard
+    # completion order and cache state cannot perturb the output.
+    sweep = SweepResult(core_names, subsets)
+    for name in sorted(payloads):
+        sweep.add(record_from_json(name, payloads[name],
+                                   core_names, subsets))
+    stats.entries.sort(key=lambda e: e["name"])
+    sweep.stats = stats
     return sweep

@@ -6,6 +6,18 @@ from repro.programs import KernelBuilder
 from repro.tdg import construct_tdg
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden snapshot files under tests/golden/ "
+             "instead of comparing against them")
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 def build_vector_kernel(n=128, passes=2):
     """Vectorizable streaming kernel: c[i] = a[i]*b[i] + 3."""
     k = KernelBuilder("vec")

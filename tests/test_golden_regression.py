@@ -1,0 +1,111 @@
+"""Golden-file regression tests for sweep summaries.
+
+Pins a compact JSON snapshot of the sweep output for four
+representative workloads (one regular, two semiregular, one
+irregular) at ``scale=0.1``.  Any modeling change that shifts cycles,
+energy, or scheduling decisions shows up here as a readable diff.
+
+To bless an intentional change:
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py \
+        --update-golden
+"""
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dse import run_sweep
+from repro.dse.sweep import ALL_BSAS, subset_label
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: One workload per corner of the behavior space.
+NAMES = ("181.mcf", "cjpeg1", "conv", "fft")
+
+SCALE = 0.1
+FULL_SUBSET = ALL_BSAS
+
+
+def golden_summary(sweep):
+    """Compact, diff-friendly projection of a sweep.
+
+    Cycle counts are exact integers; energies are rounded to 1 pJ and
+    fractions to 6 places so the snapshot is stable against benign
+    float formatting differences while still catching real drift.
+    """
+    out = {}
+    for record in sweep.benchmarks():
+        baselines = {}
+        for core, (cycles, energy_pj, insts) in \
+                sorted(record.baseline.items()):
+            baselines[core] = {
+                "cycles": cycles,
+                "energy_pj": round(energy_pj, 0),
+                "instructions": insts,
+            }
+        points = {}
+        for core in sweep.core_names:
+            for subset in ((), FULL_SUBSET):
+                summary = record.summary(core, subset)
+                points[f"{core}-{subset_label(subset)}"] = {
+                    "cycles": summary["cycles"],
+                    "energy_pj": round(summary["energy_pj"], 0),
+                    "offloaded": round(
+                        summary["offloaded_fraction"], 6),
+                }
+        out[record.name] = {
+            "suite": record.suite,
+            "category": record.category,
+            "baseline": baselines,
+            "points": points,
+        }
+    return out
+
+
+def check_golden(name, summary, update):
+    """Compare *summary* against ``tests/golden/<name>.json``."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    path = GOLDEN_DIR / f"{name}.json"
+    text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    if update:
+        path.write_text(text)
+        pytest.skip(f"golden snapshot {path.name} updated")
+    if not path.exists():
+        pytest.fail(
+            f"golden snapshot {path} is missing; create it with "
+            f"--update-golden")
+    expected = path.read_text()
+    if text != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            text.splitlines(keepends=True),
+            fromfile=f"golden/{path.name} (committed)",
+            tofile=f"golden/{path.name} (current run)",
+        ))
+        pytest.fail(
+            "sweep summary drifted from the golden snapshot:\n"
+            f"{diff}\n"
+            "If this change is intentional, bless it with:\n"
+            "  PYTHONPATH=src python -m pytest "
+            "tests/test_golden_regression.py --update-golden")
+
+
+@pytest.fixture(scope="module")
+def golden_sweep():
+    return run_sweep(names=NAMES, scale=SCALE, max_invocations=2,
+                     with_amdahl=False)
+
+
+def test_sweep_summary_matches_golden(golden_sweep, update_golden):
+    check_golden("sweep_summary", golden_summary(golden_sweep),
+                 update_golden)
+
+
+def test_golden_covers_all_categories():
+    """The snapshot stays representative: all 3 categories present."""
+    from repro.workloads import WORKLOADS
+    categories = {WORKLOADS[name].category for name in NAMES}
+    assert categories == {"regular", "semiregular", "irregular"}

@@ -1,0 +1,107 @@
+"""Determinism of the parallel, cached sweep engine.
+
+The key invariant of the sweep engine: a sweep's serialized result is
+byte-identical regardless of worker count, benchmark order, or cache
+state.  Also exercises the acceptance benchmark — a warm-cache rerun
+must be at least 5x faster than the cold run — and incremental resume
+from a partially populated cache.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.dse import run_sweep, dumps_sweep, save_sweep
+
+#: Eight benchmarks spanning all three workload categories.
+NAMES = ("181.mcf", "cjpeg1", "conv", "fft", "gsmdecode", "kmeans",
+         "mm", "spmv")
+
+#: Small-but-representative evaluation knobs shared by every run.
+KW = dict(scale=0.1, max_invocations=2, with_amdahl=True)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return run_sweep(names=NAMES, workers=1, **KW)
+
+
+@pytest.fixture(scope="module")
+def serial_bytes(serial_sweep):
+    return dumps_sweep(serial_sweep)
+
+
+@pytest.fixture(scope="module")
+def parallel_sweep():
+    return run_sweep(names=NAMES, workers=4, **KW)
+
+
+class TestWorkerInvariance:
+    def test_workers4_byte_identical_to_serial(self, parallel_sweep,
+                                               serial_bytes):
+        assert dumps_sweep(parallel_sweep) == serial_bytes
+
+    def test_shuffled_order_byte_identical(self, serial_bytes):
+        shuffled = list(NAMES)
+        random.Random(7).shuffle(shuffled)
+        assert shuffled != list(NAMES)
+        sweep = run_sweep(names=shuffled, workers=4, **KW)
+        assert dumps_sweep(sweep) == serial_bytes
+        # Deduplication keeps one record per benchmark, sorted.
+        assert [r.name for r in sweep.benchmarks()] == sorted(NAMES)
+
+    def test_save_files_byte_identical(self, serial_sweep,
+                                       parallel_sweep, tmp_path,
+                                       serial_bytes):
+        """save_sweep emits canonical bytes, not just equal content."""
+        a = tmp_path / "serial.json"
+        b = tmp_path / "parallel.json"
+        save_sweep(serial_sweep, a)
+        save_sweep(parallel_sweep, b)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_text() == serial_bytes
+
+    def test_stats_entries_sorted_and_complete(self, parallel_sweep):
+        names = [e["name"] for e in parallel_sweep.stats.entries]
+        assert names == sorted(NAMES)
+        assert all(e["seconds"] >= 0.0
+                   for e in parallel_sweep.stats.entries)
+        assert parallel_sweep.stats.workers == 4
+        assert parallel_sweep.stats.misses == len(NAMES)
+
+
+class TestCacheInvariance:
+    def test_warm_cache_identical_and_5x_faster(self, tmp_path,
+                                                serial_bytes):
+        started = time.perf_counter()
+        cold = run_sweep(names=NAMES, cache_dir=tmp_path, **KW)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_sweep(names=NAMES, cache_dir=tmp_path, **KW)
+        warm_seconds = time.perf_counter() - started
+
+        assert dumps_sweep(cold) == serial_bytes
+        assert dumps_sweep(warm) == serial_bytes
+        assert cold.stats.misses == len(NAMES)
+        assert warm.stats.hits == len(NAMES)
+        assert warm.stats.misses == 0
+        # Acceptance criterion: warm rerun >= 5x faster than cold.
+        assert warm_seconds * 5 <= cold_seconds, (
+            f"warm cache rerun not fast enough: "
+            f"cold={cold_seconds:.2f}s warm={warm_seconds:.2f}s")
+
+    def test_resume_from_partial_cache(self, tmp_path, serial_bytes):
+        """A killed sweep resumes from its completed benchmarks."""
+        run_sweep(names=NAMES[:3], cache_dir=tmp_path, **KW)
+        resumed = run_sweep(names=NAMES, workers=4,
+                            cache_dir=tmp_path, **KW)
+        assert resumed.stats.hits == 3
+        assert resumed.stats.misses == len(NAMES) - 3
+        assert dumps_sweep(resumed) == serial_bytes
+        # And a fully warm parallel rerun serves everything cached.
+        warm = run_sweep(names=NAMES, workers=4, cache_dir=tmp_path,
+                         **KW)
+        assert warm.stats.hits == len(NAMES)
+        assert dumps_sweep(warm) == serial_bytes
