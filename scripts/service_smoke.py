@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Smoke-drive a running `repro serve` instance (used by CI).
+
+Issues an evaluate request, repeats it to prove the second hit is
+served from cache/coalescing without recomputation, submits a sweep
+job and waits for it, then checks the metrics counters add up.
+Exits nonzero with a message on any violation.  The server lifecycle
+(start, SIGTERM, exit-code check) belongs to the caller.
+
+Usage: python scripts/service_smoke.py --url http://127.0.0.1:8901
+"""
+
+import argparse
+import sys
+
+
+def fail(message):
+    print(f"[smoke] FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--benchmark", default="conv")
+    parser.add_argument("--sweep", default="conv,fft")
+    parser.add_argument("--scale", type=float, default=0.1)
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceClient
+    client = ServiceClient(args.url, timeout=300, retries=8,
+                           backoff=0.25)
+    kw = dict(scale=args.scale, max_invocations=2, with_amdahl=False)
+
+    health = client.healthz()
+    if health["status"] != "ok":
+        return fail(f"unhealthy: {health}")
+    print(f"[smoke] healthz ok (uptime {health['uptime_seconds']}s)")
+
+    cold = client.evaluate(args.benchmark, **kw)
+    print(f"[smoke] cold evaluate: source={cold['source']} "
+          f"({cold['seconds']:.2f}s)")
+
+    warm = client.evaluate(args.benchmark, **kw)
+    print(f"[smoke] warm evaluate: source={warm['source']} "
+          f"({warm['seconds']:.2f}s)")
+    if warm["source"] not in ("cache", "coalesced"):
+        return fail(f"warm request recomputed (source="
+                    f"{warm['source']!r}); cache is not serving")
+    if warm["record"] != cold["record"]:
+        return fail("warm record differs from cold record")
+
+    names = [n for n in args.sweep.split(",") if n]
+    job_id = client.sweep(names, **kw)
+    print(f"[smoke] sweep job {job_id} submitted for {names}")
+    job = client.wait_job(job_id, poll_interval=0.25, timeout=600)
+    progress = job["progress"]
+    if progress["done"] != len(names):
+        return fail(f"sweep incomplete: {progress}")
+    sources = job["result"]["sources"]
+    if sources["cache"] < 1:
+        return fail(f"sweep should have reused the warm benchmark "
+                    f"from cache: {sources}")
+    print(f"[smoke] sweep done: {sources}")
+
+    metrics = client.metrics()
+    if metrics["computations_total"] < 1:
+        return fail("no computations recorded")
+    if metrics["cache"]["hits"] < 1:
+        return fail(f"no cache hits recorded: {metrics['cache']}")
+    print(f"[smoke] metrics: computations="
+          f"{metrics['computations_total']} "
+          f"cache={metrics['cache']} "
+          f"rejected={metrics['rejected_total']}")
+    print("[smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

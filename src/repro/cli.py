@@ -8,12 +8,32 @@ run NAME                  evaluate one benchmark on ExoCores
 classify NAME             behavior classes of its loops (Fig. 6)
 sweep [NAMES...]          design-space exploration (Figs. 10-13)
 validate                  regenerate the Table 1 validation summary
+serve                     long-lived HTTP evaluation service
+
+Every command exits 0 on success and nonzero on failure; operational
+errors (unknown benchmark, unreachable service, ...) print one
+``repro <command>: error: ...`` line instead of a traceback.  Set
+``REPRO_DEBUG=1`` to re-raise with the full traceback.
 """
 
 import argparse
+import os
 import sys
 
 ALL_BSAS = ("simd", "dp_cgra", "ns_df", "trace_p")
+
+
+class CLIError(Exception):
+    """Operational failure with a user-facing message (exit code 1)."""
+
+
+def _workload(name):
+    from repro.workloads import WORKLOADS
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise CLIError(f"unknown benchmark {name!r} "
+                       "(run `repro list` for the suite)") from None
 
 
 def _cmd_list(_args):
@@ -30,8 +50,7 @@ def _cmd_list(_args):
 
 
 def _cmd_trace(args):
-    from repro.workloads import WORKLOADS
-    tdg = WORKLOADS[args.name].construct_tdg(scale=args.scale)
+    tdg = _workload(args.name).construct_tdg(scale=args.scale)
     trace = tdg.trace
     print(f"{args.name}: {len(trace)} dynamic instructions, "
           f"{len(tdg.program)} static")
@@ -50,10 +69,13 @@ def _cmd_run(args):
     from repro.core_model import core_by_name
     from repro.energy import exocore_area
     from repro.exocore import evaluate_benchmark, oracle_schedule
-    from repro.workloads import WORKLOADS
 
     bsas = tuple(args.bsas.split(",")) if args.bsas else ALL_BSAS
-    tdg = WORKLOADS[args.name].construct_tdg(scale=args.scale)
+    unknown = [b for b in bsas if b not in ALL_BSAS]
+    if unknown:
+        raise CLIError(f"unknown BSAs {unknown!r} "
+                       f"(known: {', '.join(ALL_BSAS)})")
+    tdg = _workload(args.name).construct_tdg(scale=args.scale)
     evaluation = evaluate_benchmark(tdg, name=args.name)
     print(f"{'design':<16} {'cycles':>10} {'nJ':>10} {'speedup':>8} "
           f"{'energyX':>8} {'area':>6}")
@@ -76,8 +98,7 @@ def _cmd_run(args):
 def _cmd_classify(args):
     from repro.accel import AnalysisContext
     from repro.analysis import classify_loop
-    from repro.workloads import WORKLOADS
-    tdg = WORKLOADS[args.name].construct_tdg(scale=args.scale)
+    tdg = _workload(args.name).construct_tdg(scale=args.scale)
     ctx = AnalysisContext(tdg)
     for loop in ctx.forest:
         if not loop.is_inner:
@@ -126,6 +147,16 @@ def _cmd_sweep(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.service import ServiceConfig, serve
+    config = ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        pool_mode=args.pool, max_pending=args.queue_depth,
+        max_jobs=args.max_jobs, cache_dir=args.cache_dir,
+        use_cache=not args.no_cache, drain_timeout=args.drain_timeout)
+    return serve(config)
+
+
 def _cmd_validate(args):
     from repro.validation import table1
     rows = table1(scale=args.scale)
@@ -142,6 +173,9 @@ def build_parser():
         prog="repro",
         description="TDG modeling and ExoCore exploration "
                     "(ASPLOS 2016 reproduction)")
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads")
@@ -177,6 +211,28 @@ def build_parser():
 
     p = sub.add_parser("validate", help="Table 1 validation")
     p.add_argument("--scale", type=float, default=0.3)
+
+    p = sub.add_parser("serve", help="HTTP evaluation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="warm evaluation workers")
+    p.add_argument("--pool", choices=("process", "thread"),
+                   default="process",
+                   help="worker pool kind (thread: debugging)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="max in-flight evaluations before 429")
+    p.add_argument("--max-jobs", type=int, default=4,
+                   help="max concurrently active sweep jobs")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the on-disk evaluation cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-dse)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for in-flight work on "
+                        "shutdown")
     return parser
 
 
@@ -190,8 +246,24 @@ def main(argv=None):
         "classify": _cmd_classify,
         "sweep": _cmd_sweep,
         "validate": _cmd_validate,
+        "serve": _cmd_serve,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except KeyboardInterrupt:
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        return 1
+    except Exception as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        message = str(exc) or type(exc).__name__
+        if not isinstance(exc, CLIError):
+            message = f"{type(exc).__name__}: {message}"
+        print(f"repro {args.command}: error: {message}",
+              file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

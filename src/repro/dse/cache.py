@@ -19,6 +19,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import warnings
 from pathlib import Path
 
@@ -45,6 +46,22 @@ _CORE_ATTRS = (
 )
 
 _engine_hash = None
+_engine_hash_lock = threading.Lock()
+
+
+def _compute_engine_hash():
+    import repro
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    paths = [root / rel for rel in _ENGINE_FILES]
+    for package in _ENGINE_PACKAGES:
+        paths.extend((root / package).rglob("*.py"))
+    for path in sorted(paths):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
 
 
 def engine_version_hash():
@@ -53,26 +70,36 @@ def engine_version_hash():
     Any edit to the simulator, TDG engine, BSA models, schedulers,
     energy models or workload definitions yields a new hash and thus a
     cold cache — stale results can never be served after a code change.
+
+    The digest walks and reads every modeling source file, so it is
+    computed exactly once per process and memoized: a long-lived
+    caller (the evaluation service builds a cache key per request)
+    must not rehash the source tree on every key.  Thread-safe — the
+    service computes keys from executor threads.
     """
     global _engine_hash
     if _engine_hash is None:
-        import repro
-        root = Path(repro.__file__).parent
-        digest = hashlib.sha256()
-        paths = [root / rel for rel in _ENGINE_FILES]
-        for package in _ENGINE_PACKAGES:
-            paths.extend((root / package).rglob("*.py"))
-        for path in sorted(paths):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _engine_hash = digest.hexdigest()[:16]
+        with _engine_hash_lock:
+            if _engine_hash is None:
+                _engine_hash = _compute_engine_hash()
     return _engine_hash
 
 
+def reset_engine_hash():
+    """Drop the per-process memo (tests; after editing source)."""
+    global _engine_hash
+    with _engine_hash_lock:
+        _engine_hash = None
+
+
 def _core_signature(core_name):
-    """Full parameter set of a core config (not just its name)."""
+    """Full parameter set of a core config (not just its name).
+
+    Deliberately NOT memoized: tests (and embedders) mutate core
+    configs in place and rely on the next cache key reflecting the
+    change.  Signature construction is a dozen attribute reads —
+    cheap next to the source-tree digest, which *is* memoized.
+    """
     config = core_by_name(core_name)
     return {attr: getattr(config, attr) for attr in _CORE_ATTRS}
 

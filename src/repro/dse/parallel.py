@@ -12,6 +12,26 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
 
+def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
+              with_amdahl=True):
+    """Canonical picklable task payload for one benchmark evaluation.
+
+    This is the codec shared by every consumer of the worker boundary:
+    the sweep's process pool, the on-disk cache's key material, and the
+    evaluation service's warm workers.  Keeping construction in one
+    place guarantees a task built by any of them hashes and evaluates
+    identically.
+    """
+    return {
+        "name": name,
+        "core_names": tuple(core_names),
+        "subsets": tuple(tuple(s) for s in subsets),
+        "scale": float(scale),
+        "max_invocations": int(max_invocations),
+        "with_amdahl": bool(with_amdahl),
+    }
+
+
 def evaluate_task(task):
     """Worker entry point: evaluate one benchmark.
 
@@ -36,6 +56,17 @@ def evaluate_task(task):
     )
     elapsed = time.perf_counter() - started
     return task["name"], record_to_json(record), elapsed
+
+
+def evaluate_payload(task):
+    """Worker entry point returning ``(payload, seconds)`` only.
+
+    The evaluation service's pool wants the record payload without the
+    redundant name echo; kept module-level so it pickles across a
+    ``ProcessPoolExecutor`` boundary.
+    """
+    _name, payload, elapsed = evaluate_task(task)
+    return payload, elapsed
 
 
 def run_tasks(tasks, workers=1, on_result=None):

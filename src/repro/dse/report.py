@@ -166,6 +166,29 @@ def sweep_stats_summary(sweep_or_stats):
     }
 
 
+def service_metrics_table(snapshot):
+    """Per-endpoint rows from an evaluation-service metrics snapshot.
+
+    Input is the JSON object ``GET /v1/metrics`` returns (see
+    :meth:`repro.service.metrics.Metrics.snapshot`); output is one row
+    per endpoint — request/error counts and latency mean/p95 — for
+    :func:`render_table`.  ``repro serve`` prints this on shutdown.
+    """
+    rows = []
+    for endpoint, entry in sorted(
+            (snapshot or {}).get("endpoints", {}).items()):
+        latency = entry.get("latency", {})
+        rows.append({
+            "endpoint": endpoint,
+            "requests": entry.get("requests", 0),
+            "errors": entry.get("errors", 0),
+            "mean_ms": latency.get("mean_ms", 0.0),
+            "p95_ms": latency.get("p95_ms", 0.0),
+            "max_ms": latency.get("max_ms", 0.0),
+        })
+    return rows
+
+
 def render_table(rows, columns=None, float_format="{:.3f}"):
     """Plain-text table rendering for the benchmark harness output."""
     if not rows:

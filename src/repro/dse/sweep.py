@@ -279,7 +279,7 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
     per-benchmark timing and cache hit/miss counts.
     """
     from repro.dse.cache import SweepCache, cache_key, default_cache_dir
-    from repro.dse.parallel import run_tasks
+    from repro.dse.parallel import make_task, run_tasks
 
     names = list(names) if names is not None else sorted(WORKLOADS)
     names = list(dict.fromkeys(names))      # dedupe, keep given order
@@ -313,14 +313,9 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
                 if progress is not None:
                     progress(name)
                 continue
-        pending.append({
-            "name": name,
-            "core_names": core_names,
-            "subsets": subsets,
-            "scale": scale,
-            "max_invocations": max_invocations,
-            "with_amdahl": with_amdahl,
-        })
+        pending.append(make_task(
+            name, core_names, subsets, scale=scale,
+            max_invocations=max_invocations, with_amdahl=with_amdahl))
 
     def on_result(name, payload, elapsed):
         payloads[name] = payload

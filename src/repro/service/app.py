@@ -1,0 +1,486 @@
+"""The evaluation service: routes, request lifecycle, drain logic.
+
+``EvaluationService`` ties the pieces together:
+
+- **cache** — every request is keyed with the sweep cache's content
+  key; a warm key is answered from disk without touching the pool.
+- **coalescing** — identical concurrent requests share one in-flight
+  computation (:mod:`repro.service.coalesce`).
+- **backpressure** — a bounded slot pool; exhausted means HTTP 429
+  with ``Retry-After``, never an unbounded queue or a hang.
+- **batching** — ``POST /v1/sweep`` admits one async job covering many
+  benchmarks; each finished benchmark persists to the cache
+  immediately, so a killed or drained job leaves warm shards behind.
+- **graceful drain** — SIGTERM stops accepting work, lets in-flight
+  requests and jobs finish (bounded by ``drain_timeout``), then shuts
+  the pool down.
+"""
+
+import asyncio
+import signal
+import sys
+import time
+
+from repro.service.coalesce import Coalescer
+from repro.service.http import (
+    MAX_HEADER_BYTES, ParseError, Response, Router, handle_connection,
+)
+from repro.service.jobs import JobRegistry, QueueFull, Slots
+from repro.service.metrics import Metrics
+from repro.service.workers import EvaluationPool
+
+#: Seconds a 429'd client should wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+
+class ServiceConfig:
+    """Tunables for one service instance (all have sane defaults)."""
+
+    def __init__(self, host="127.0.0.1", port=8765, workers=2,
+                 pool_mode="process", max_pending=8, max_jobs=4,
+                 cache_dir=None, use_cache=True, drain_timeout=30.0):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.pool_mode = pool_mode
+        self.max_pending = max_pending
+        self.max_jobs = max_jobs
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.drain_timeout = drain_timeout
+
+
+class BadRequest(Exception):
+    """Client-side request error; surfaces as HTTP 400."""
+
+
+def _normalize_params(body):
+    """Validate a request body into evaluation keyword arguments.
+
+    Defaults mirror :func:`repro.dse.sweep.evaluate_one_benchmark`
+    exactly — the service must key and compute the same points the
+    CLI does, or the shared cache splits in two.
+    """
+    from repro.core_model import core_by_name
+    from repro.core_model.config import DSE_CORES
+    from repro.dse.sweep import ALL_BSAS, ALL_SUBSETS
+
+    cores = body.get("cores")
+    if cores is None:
+        cores = DSE_CORES
+    elif (not isinstance(cores, (list, tuple)) or not cores
+          or not all(isinstance(c, str) for c in cores)):
+        raise BadRequest("'cores' must be a non-empty list of names")
+    for core in cores:
+        try:
+            core_by_name(core)
+        except (KeyError, ValueError) as exc:
+            raise BadRequest(f"unknown core {core!r}") from exc
+
+    subsets = body.get("subsets")
+    if subsets is None:
+        subsets = ALL_SUBSETS
+    else:
+        if not isinstance(subsets, (list, tuple)):
+            raise BadRequest("'subsets' must be a list of BSA lists")
+        known = set(ALL_BSAS)
+        for subset in subsets:
+            if not isinstance(subset, (list, tuple)):
+                raise BadRequest("each subset must be a list of BSAs")
+            unknown = [b for b in subset if b not in known]
+            if unknown:
+                raise BadRequest(f"unknown BSAs {unknown!r} "
+                                 f"(known: {sorted(known)})")
+
+    try:
+        scale = float(body.get("scale", 1.0))
+        max_invocations = int(body.get("max_invocations", 8))
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad numeric parameter: {exc}") from exc
+    if scale <= 0:
+        raise BadRequest("'scale' must be > 0")
+    if max_invocations < 1:
+        raise BadRequest("'max_invocations' must be >= 1")
+
+    return {
+        "core_names": tuple(cores),
+        "subsets": tuple(tuple(s) for s in subsets),
+        "scale": scale,
+        "max_invocations": max_invocations,
+        "with_amdahl": bool(body.get("with_amdahl", True)),
+    }
+
+
+def _validate_benchmarks(names):
+    from repro.workloads import WORKLOADS
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise BadRequest(f"unknown benchmarks {unknown!r} "
+                         "(see GET /v1/benchmarks)")
+
+
+class EvaluationService:
+    """One long-lived evaluation server instance."""
+
+    def __init__(self, config=None, evaluator=None):
+        self.config = config or ServiceConfig()
+        self.metrics = Metrics()
+        self.slots = Slots(self.config.max_pending)
+        self.jobs = JobRegistry(max_active=self.config.max_jobs)
+        self.coalescer = Coalescer()
+        self.pool = EvaluationPool(
+            workers=self.config.workers, mode=self.config.pool_mode,
+            evaluator=evaluator)
+        self.cache = None
+        if self.config.use_cache:
+            from repro.dse.cache import SweepCache, default_cache_dir
+            self.cache = SweepCache(
+                self.config.cache_dir if self.config.cache_dir is not None
+                else default_cache_dir())
+        self.host = self.config.host
+        self.port = self.config.port
+        self.draining = False
+        self._server = None
+        self._loop = None
+        self._stop_event = None
+        self._active_requests = 0
+        self._job_tasks = set()
+
+        self.router = Router()
+        self.router.add("POST", "/v1/evaluate", self.handle_evaluate)
+        self.router.add("POST", "/v1/sweep", self.handle_sweep)
+        self.router.add("GET", "/v1/jobs/{id}", self.handle_job)
+        self.router.add("GET", "/v1/healthz", self.handle_healthz)
+        self.router.add("GET", "/v1/metrics", self.handle_metrics)
+        self.router.add("GET", "/v1/benchmarks", self.handle_benchmarks)
+
+    # ------------------------------------------------------------------
+    # Core evaluation path: cache -> coalesce -> slots -> pool.
+
+    def _task_and_key(self, name, params):
+        from repro.dse.cache import cache_key
+        from repro.dse.parallel import make_task
+        task = make_task(name, **params)
+        key = cache_key(name, params["scale"], params["core_names"],
+                        params["subsets"], params["max_invocations"],
+                        params["with_amdahl"])
+        return task, key
+
+    async def _evaluate_keyed(self, task, key, blocking=False):
+        """Resolve one keyed evaluation; ``(payload, source)``.
+
+        *source* is ``"cache"`` (disk hit), ``"coalesced"`` (shared an
+        in-flight computation) or ``"computed"`` (this call ran the
+        engine).  Raises :class:`QueueFull` when non-blocking and no
+        compute slot is free.
+        """
+        if self.cache is not None:
+            payload = self.cache.load(key)
+            if payload is not None:
+                self.metrics.cache_hits_total += 1
+                return payload, "cache"
+            self.metrics.cache_misses_total += 1
+
+        future, leader = self.coalescer.claim(key)
+        if not leader:
+            self.metrics.coalesced_total += 1
+            payload = await self.coalescer.wait(future)
+            return payload, "coalesced"
+
+        if blocking:
+            await self.slots.acquire()
+        elif not self.slots.try_acquire():
+            error = QueueFull(
+                f"all {self.slots.capacity} compute slots busy")
+            self.coalescer.finish(key, future, error=error)
+            raise error
+        try:
+            started = time.perf_counter()
+            payload, _seconds = await self.pool.evaluate(task)
+            self.metrics.computations_total += 1
+            self.metrics.computation_seconds += \
+                time.perf_counter() - started
+            if self.cache is not None:
+                self.cache.store(key, payload)
+        except BaseException as exc:
+            self.coalescer.finish(key, future, error=exc)
+            raise
+        finally:
+            await self.slots.release()
+        self.coalescer.finish(key, future, result=payload)
+        return payload, "computed"
+
+    # ------------------------------------------------------------------
+    # Handlers.
+
+    async def handle_evaluate(self, request, params):
+        if self.draining:
+            return Response.error(503, "server is draining")
+        body = request.json()
+        name = body.get("benchmark")
+        if not isinstance(name, str) or not name:
+            raise BadRequest("'benchmark' (string) is required")
+        _validate_benchmarks([name])
+        eval_params = _normalize_params(body)
+        task, key = self._task_and_key(name, eval_params)
+        started = time.perf_counter()
+        try:
+            payload, source = await self._evaluate_keyed(task, key)
+        except QueueFull as exc:
+            self.metrics.rejected_total += 1
+            return Response.error(
+                429, str(exc),
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        return Response.json({
+            "benchmark": name,
+            "key": key,
+            "source": source,
+            "seconds": round(time.perf_counter() - started, 6),
+            "record": payload,
+        })
+
+    async def handle_sweep(self, request, params):
+        if self.draining:
+            return Response.error(503, "server is draining")
+        body = request.json()
+        names = body.get("names")
+        if names is None:
+            from repro.workloads import WORKLOADS
+            names = sorted(WORKLOADS)
+        elif (not isinstance(names, (list, tuple)) or not names
+              or not all(isinstance(n, str) for n in names)):
+            raise BadRequest("'names' must be a non-empty list")
+        names = list(dict.fromkeys(names))
+        _validate_benchmarks(names)
+        eval_params = _normalize_params(body)
+        try:
+            job = self.jobs.create(
+                "sweep",
+                {"names": names, "scale": eval_params["scale"]},
+                total=len(names))
+        except QueueFull as exc:
+            self.metrics.rejected_total += 1
+            return Response.error(
+                429, str(exc),
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        self.metrics.jobs_submitted_total += 1
+        items = [(name,) + self._task_and_key(name, eval_params)
+                 for name in names]
+        task = asyncio.create_task(self._run_sweep_job(job, items))
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        return Response.json({
+            "job_id": job.id,
+            "status": job.status,
+            "benchmarks": len(names),
+            "url": f"/v1/jobs/{job.id}",
+        }, status=202)
+
+    async def _run_sweep_job(self, job, items):
+        """Drive one admitted sweep job to completion.
+
+        Benchmarks fan out concurrently; the shared slot pool bounds
+        how many actually occupy workers at once.  Each completed
+        benchmark is persisted through the cache by the evaluate path
+        itself, so a job cut off mid-drain leaves warm shards behind.
+        """
+        from repro.service.jobs import JOB_RUNNING
+
+        job.status = JOB_RUNNING
+        payloads = {}
+        sources = {"cache": 0, "coalesced": 0, "computed": 0}
+
+        async def one(name, task, key):
+            payload, source = await self._evaluate_keyed(
+                task, key, blocking=True)
+            payloads[name] = payload
+            sources[source] += 1
+            job.done += 1
+
+        try:
+            await asyncio.gather(*(one(*item) for item in items))
+        except asyncio.CancelledError:
+            job.fail(f"cancelled during drain after "
+                     f"{job.done}/{job.total} benchmarks "
+                     "(completed shards are cached)")
+            self.metrics.jobs_failed_total += 1
+            return
+        except Exception as exc:
+            job.fail(f"{type(exc).__name__}: {exc}")
+            self.metrics.jobs_failed_total += 1
+            return
+        job.finish({
+            "benchmarks": {name: payloads[name]
+                           for name in sorted(payloads)},
+            "sources": sources,
+        })
+        self.metrics.jobs_completed_total += 1
+
+    async def handle_job(self, request, params):
+        job = self.jobs.get(params["id"])
+        if job is None:
+            return Response.error(404, f"no such job {params['id']!r}")
+        return Response.json(job.to_json())
+
+    async def handle_healthz(self, request, params):
+        return Response.json({
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(
+                time.time() - self.metrics.started_at, 3),
+            "queue_depth": self.slots.depth,
+            "active_jobs": self.jobs.active_count,
+        })
+
+    async def handle_metrics(self, request, params):
+        return Response.json(self.metrics.snapshot(
+            queue_depth=self.slots.depth,
+            queue_capacity=self.slots.capacity,
+            inflight_keys=self.coalescer.inflight,
+            jobs_active=self.jobs.active_count,
+            draining=self.draining))
+
+    async def handle_benchmarks(self, request, params):
+        from repro.workloads import WORKLOADS
+        return Response.json({
+            "benchmarks": {
+                name: {"suite": w.suite, "category": w.category}
+                for name, w in sorted(WORKLOADS.items())
+            }})
+
+    # ------------------------------------------------------------------
+    # Dispatch: routing + metrics + failure containment.
+
+    async def dispatch(self, request):
+        self._active_requests += 1
+        started = time.perf_counter()
+        endpoint = "unmatched"
+        try:
+            handler, params, template = self.router.match(
+                request.method, request.path)
+            if handler is None and params is None:
+                response = Response.error(
+                    404, f"no route for {request.path}")
+            elif handler is None:
+                endpoint = template
+                response = Response.error(
+                    405, f"{request.method} not allowed "
+                         f"(try {', '.join(params)})",
+                    headers={"Allow": ", ".join(params)})
+            else:
+                endpoint = template
+                try:
+                    response = await handler(request, params)
+                except (BadRequest, ParseError) as exc:
+                    response = Response.error(400, str(exc))
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    response = Response.error(
+                        500, f"{type(exc).__name__}: {exc}")
+            return response
+        finally:
+            self._active_requests -= 1
+            self.metrics.observe_request(
+                endpoint,
+                response.status if "response" in locals() else 500,
+                time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    async def start(self, install_signal_handlers=False, warm=True):
+        """Bind the listener and warm the pool; returns when ready."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.pool.start(warm=warm)
+        self._server = await asyncio.start_server(
+            lambda r, w: handle_connection(self.dispatch, r, w),
+            host=self.config.host, port=self.config.port,
+            limit=MAX_HEADER_BYTES)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        signum, self._stop_event.set)
+                except NotImplementedError:   # non-POSIX event loops
+                    pass
+
+    def request_stop(self):
+        """Begin shutdown from inside the event loop."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def request_stop_threadsafe(self):
+        """Begin shutdown from another thread (tests, embedding)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_stop)
+
+    async def wait_stopped(self):
+        await self._stop_event.wait()
+
+    async def shutdown(self, drain_timeout=None):
+        """Drain and stop: refuse new work, finish in-flight work.
+
+        Every benchmark a sweep job completed before the timeout has
+        already been persisted through the cache, so even a job cut
+        off mid-flight leaves warm shards for the next run.
+        """
+        if drain_timeout is None:
+            drain_timeout = self.config.drain_timeout
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            # 3.12+ wait_closed also waits for connection handlers;
+            # an idle keep-alive client must not stall the drain.
+            try:
+                await asyncio.wait_for(
+                    self._server.wait_closed(),
+                    timeout=min(1.0, drain_timeout))
+            except asyncio.TimeoutError:
+                pass
+
+        deadline = self._loop.time() + drain_timeout
+        while (self._active_requests > 0 or self._job_tasks) \
+                and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        for task in list(self._job_tasks):
+            task.cancel()
+        if self._job_tasks:
+            await asyncio.gather(*self._job_tasks,
+                                 return_exceptions=True)
+        self.pool.shutdown(wait=True)
+
+    async def run(self, install_signal_handlers=True):
+        """start -> serve until stop requested -> drain."""
+        await self.start(install_signal_handlers=install_signal_handlers)
+        await self.wait_stopped()
+        await self.shutdown()
+
+
+def serve(config=None):
+    """Blocking entry point behind ``repro serve``; returns exit code."""
+    from repro.dse.report import render_table, service_metrics_table
+
+    service = EvaluationService(config)
+
+    async def _main():
+        await service.start(install_signal_handlers=True)
+        cache_note = str(service.cache.root) if service.cache else "off"
+        print(f"[serve] listening on "
+              f"http://{service.host}:{service.port} "
+              f"(workers={service.pool.workers} mode={service.pool.mode} "
+              f"queue={service.slots.capacity} cache={cache_note})",
+              file=sys.stderr, flush=True)
+        await service.wait_stopped()
+        print("[serve] draining...", file=sys.stderr, flush=True)
+        await service.shutdown()
+
+    asyncio.run(_main())
+    rows = service_metrics_table(service.metrics.snapshot())
+    if rows:
+        print(render_table(rows), file=sys.stderr)
+    print("[serve] drained and shut down cleanly",
+          file=sys.stderr, flush=True)
+    return 0

@@ -1,0 +1,153 @@
+"""Python client for the evaluation service.
+
+Stdlib-only (``urllib``), synchronous, with the retry discipline the
+server's backpressure contract expects: 429/503 responses are retried
+with exponential backoff, honoring ``Retry-After`` when the server
+sends one; connection errors and timeouts retry the same way.  4xx
+client errors are never retried.
+
+>>> client = ServiceClient("http://127.0.0.1:8765")
+>>> result = client.evaluate("conv", scale=0.5)
+>>> job_id = client.sweep(["conv", "fft"], scale=0.5)
+>>> job = client.wait_job(job_id)
+"""
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+#: Statuses worth retrying — the server is alive but shedding load.
+RETRYABLE_STATUSES = (429, 503)
+
+
+class ServiceError(Exception):
+    """Terminal request failure (after retries, if any applied)."""
+
+    def __init__(self, message, status=None, payload=None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class JobFailed(ServiceError):
+    """A sweep job finished in the ``failed`` state."""
+
+
+class ServiceClient:
+    """Thin HTTP client with retry/backoff/timeout."""
+
+    def __init__(self, base_url, timeout=120.0, retries=4,
+                 backoff=0.25, max_backoff=4.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+
+    # -- transport -----------------------------------------------------
+
+    def _sleep_before_retry(self, attempt, retry_after=None):
+        delay = min(self.max_backoff, self.backoff * (2 ** attempt))
+        if retry_after is not None:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        time.sleep(delay)
+
+    def _request(self, method, path, body=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method)
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                payload = {}
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                except (ValueError, OSError):
+                    pass
+                if exc.code in RETRYABLE_STATUSES \
+                        and attempt < self.retries:
+                    last_error = exc
+                    self._sleep_before_retry(
+                        attempt, exc.headers.get("Retry-After"))
+                    continue
+                raise ServiceError(
+                    payload.get("error", f"HTTP {exc.code}"),
+                    status=exc.code, payload=payload) from exc
+            except (urllib.error.URLError, socket.timeout,
+                    ConnectionError, TimeoutError) as exc:
+                if attempt < self.retries:
+                    last_error = exc
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"cannot reach {url}: {exc}") from exc
+        raise ServiceError(           # pragma: no cover — loop always
+            f"retries exhausted for {url}: {last_error}")  # returns/raises
+
+    # -- API surface ---------------------------------------------------
+
+    def evaluate(self, benchmark, cores=None, subsets=None, scale=1.0,
+                 max_invocations=8, with_amdahl=True):
+        """Evaluate one benchmark; returns the full response dict
+        (``record``, ``source``, ``key``, ``seconds``)."""
+        body = {"benchmark": benchmark, "scale": scale,
+                "max_invocations": max_invocations,
+                "with_amdahl": with_amdahl}
+        if cores is not None:
+            body["cores"] = list(cores)
+        if subsets is not None:
+            body["subsets"] = [list(s) for s in subsets]
+        return self._request("POST", "/v1/evaluate", body)
+
+    def sweep(self, names=None, **params):
+        """Submit an async sweep job; returns its job id."""
+        body = dict(params)
+        if names is not None:
+            body["names"] = list(names)
+        return self._request("POST", "/v1/sweep", body)["job_id"]
+
+    def job(self, job_id):
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait_job(self, job_id, poll_interval=0.25, timeout=600.0):
+        """Poll until a job leaves the active states; returns it.
+
+        Raises :class:`JobFailed` on a failed job and
+        :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] == "done":
+                return job
+            if job["status"] == "failed":
+                raise JobFailed(
+                    job.get("error", "job failed"), payload=job)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['status']} after "
+                    f"{timeout}s", payload=job)
+            time.sleep(poll_interval)
+
+    def healthz(self):
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self):
+        return self._request("GET", "/v1/metrics")
+
+    def benchmarks(self):
+        return self._request("GET", "/v1/benchmarks")["benchmarks"]

@@ -1,0 +1,59 @@
+"""In-flight request coalescing keyed on cache content keys.
+
+Two requests are "identical" exactly when their
+:func:`repro.dse.cache.cache_key` material matches — the same key the
+on-disk cache stores results under.  While one evaluation for a key is
+in flight, every other arrival for that key awaits the leader's future
+instead of submitting a duplicate computation: N identical concurrent
+POSTs cost one engine evaluation.
+"""
+
+import asyncio
+
+
+class Coalescer:
+    """Map of in-flight content keys to their result futures.
+
+    ``claim`` is synchronous (no awaits), so leader election is
+    race-free on the event loop: between a follower observing a key
+    and the leader registering it there is no suspension point.
+    """
+
+    def __init__(self):
+        self._inflight = {}
+
+    @property
+    def inflight(self):
+        return len(self._inflight)
+
+    def claim(self, key):
+        """Return ``(future, is_leader)`` for *key*.
+
+        The leader must later call :meth:`finish` exactly once;
+        followers ``await`` the returned future (shielded, so one
+        cancelled follower doesn't poison the shared result).
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return future, True
+
+    def finish(self, key, future, result=None, error=None):
+        """Resolve the leader's future and retire the key."""
+        self._inflight.pop(key, None)
+        if future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+            # Retrieve once so a follower-less failure doesn't log
+            # "exception was never retrieved" at GC; awaiting
+            # followers still observe the exception normally.
+            future.exception()
+        else:
+            future.set_result(result)
+
+    async def wait(self, future):
+        """Follower side: await the shared result."""
+        return await asyncio.shield(future)

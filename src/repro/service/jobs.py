@@ -1,0 +1,133 @@
+"""Bounded compute slots (backpressure) and the async job registry.
+
+Backpressure model: every engine evaluation in flight — whether it
+came from ``/v1/evaluate`` or from a benchmark inside a sweep job —
+holds one slot from a fixed-capacity pool.  Interactive evaluate
+requests acquire non-blockingly and are answered ``429 Retry-After``
+when no slot is free; admitted sweep jobs acquire blockingly, so a
+batch fills idle capacity without ever wedging the event loop.
+"""
+
+import asyncio
+import time
+import uuid
+
+
+class QueueFull(Exception):
+    """No free compute slot; surfaces as HTTP 429."""
+
+
+class Slots:
+    """Fixed pool of compute slots with blocking + non-blocking acquire."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("slot capacity must be >= 1")
+        self.capacity = capacity
+        self._in_use = 0
+        self._condition = asyncio.Condition()
+
+    @property
+    def depth(self):
+        """Evaluations currently holding a slot (the queue gauge)."""
+        return self._in_use
+
+    def try_acquire(self):
+        """Non-blocking acquire; False when the pool is exhausted."""
+        if self._in_use >= self.capacity:
+            return False
+        self._in_use += 1
+        return True
+
+    async def acquire(self):
+        """Blocking acquire (sweep jobs already admitted past 429)."""
+        async with self._condition:
+            while self._in_use >= self.capacity:
+                await self._condition.wait()
+            self._in_use += 1
+
+    async def release(self):
+        async with self._condition:
+            self._in_use = max(0, self._in_use - 1)
+            self._condition.notify(1)
+
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+ACTIVE_STATES = (JOB_QUEUED, JOB_RUNNING)
+
+
+class Job:
+    """One asynchronous sweep job."""
+
+    def __init__(self, kind, params, total):
+        self.id = uuid.uuid4().hex[:12]
+        self.kind = kind
+        self.params = params
+        self.status = JOB_QUEUED
+        self.created_at = time.time()
+        self.finished_at = None
+        self.total = total
+        self.done = 0
+        self.result = None
+        self.error = None
+
+    @property
+    def active(self):
+        return self.status in ACTIVE_STATES
+
+    def finish(self, result):
+        self.result = result
+        self.status = JOB_DONE
+        self.finished_at = time.time()
+
+    def fail(self, message):
+        self.error = message
+        self.status = JOB_FAILED
+        self.finished_at = time.time()
+
+    def to_json(self, include_result=True):
+        payload = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "params": self.params,
+            "progress": {"done": self.done, "total": self.total},
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if include_result and self.status == JOB_DONE:
+            payload["result"] = self.result
+        return payload
+
+
+class JobRegistry:
+    """In-memory job table with a cap on concurrently active jobs."""
+
+    def __init__(self, max_active=4):
+        self.max_active = max_active
+        self._jobs = {}
+
+    def create(self, kind, params, total):
+        """Admit a new job, or raise :class:`QueueFull` at the cap."""
+        if self.active_count >= self.max_active:
+            raise QueueFull(
+                f"{self.active_count} active jobs (max {self.max_active})")
+        job = Job(kind, params, total)
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id):
+        return self._jobs.get(job_id)
+
+    @property
+    def active_count(self):
+        return sum(1 for job in self._jobs.values() if job.active)
+
+    def __len__(self):
+        return len(self._jobs)

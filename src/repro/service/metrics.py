@@ -1,0 +1,130 @@
+"""Service observability: counters and latency histograms.
+
+Everything the ``/v1/metrics`` endpoint reports lives here.  The shape
+matters operationally: the acceptance check for request coalescing is
+"two identical concurrent POSTs bump ``computations_total`` once", so
+the computation counter must count *engine evaluations*, not requests.
+"""
+
+import time
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds in, milliseconds out).
+
+    Buckets follow the usual 1-2.5-5 decade ladder; quantiles are the
+    upper bound of the bucket containing the target rank, which is the
+    standard (slightly pessimistic) fixed-bucket estimate.
+    """
+
+    BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+              0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+    def __init__(self):
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds):
+        self.count += 1
+        self.sum += seconds
+        self.max = max(self.max, seconds)
+        for index, bound in enumerate(self.BOUNDS):
+            if seconds <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q):
+        """Estimated q-quantile in seconds (0 when empty)."""
+        if not self.count:
+            return 0.0
+        target = max(1, int(q * self.count + 0.999999))
+        cumulative = 0
+        for index, bound in enumerate(self.BOUNDS):
+            cumulative += self.counts[index]
+            if cumulative >= target:
+                return min(bound, self.max)
+        return self.max
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.sum, 6),
+            "mean_ms": round(1000.0 * self.sum / self.count, 3)
+            if self.count else 0.0,
+            "p50_ms": round(1000.0 * self.quantile(0.50), 3),
+            "p95_ms": round(1000.0 * self.quantile(0.95), 3),
+            "max_ms": round(1000.0 * self.max, 3),
+        }
+
+
+class Metrics:
+    """All service counters, aggregated per endpoint template."""
+
+    def __init__(self):
+        self.started_at = time.time()
+        self.requests = {}          # (endpoint, status) -> count
+        self.latency = {}           # endpoint -> LatencyHistogram
+        self.computations_total = 0
+        self.computation_seconds = 0.0
+        self.coalesced_total = 0
+        self.cache_hits_total = 0
+        self.cache_misses_total = 0
+        self.rejected_total = 0     # 429s (evaluate slots + job slots)
+        self.jobs_submitted_total = 0
+        self.jobs_completed_total = 0
+        self.jobs_failed_total = 0
+
+    def observe_request(self, endpoint, status, seconds):
+        key = (endpoint, int(status))
+        self.requests[key] = self.requests.get(key, 0) + 1
+        if endpoint not in self.latency:
+            self.latency[endpoint] = LatencyHistogram()
+        self.latency[endpoint].observe(seconds)
+
+    @property
+    def cache_hit_rate(self):
+        lookups = self.cache_hits_total + self.cache_misses_total
+        return self.cache_hits_total / lookups if lookups else 0.0
+
+    def snapshot(self, queue_depth=0, queue_capacity=0,
+                 inflight_keys=0, jobs_active=0, draining=False):
+        endpoints = {}
+        for (endpoint, status), count in sorted(self.requests.items()):
+            entry = endpoints.setdefault(
+                endpoint, {"requests": 0, "errors": 0, "by_status": {}})
+            entry["requests"] += count
+            if status >= 400:
+                entry["errors"] += count
+            entry["by_status"][str(status)] = count
+        for endpoint, histogram in self.latency.items():
+            endpoints.setdefault(
+                endpoint, {"requests": 0, "errors": 0, "by_status": {}}
+            )["latency"] = histogram.snapshot()
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "draining": bool(draining),
+            "endpoints": endpoints,
+            "computations_total": self.computations_total,
+            "computation_seconds": round(self.computation_seconds, 6),
+            "coalesced_total": self.coalesced_total,
+            "rejected_total": self.rejected_total,
+            "cache": {
+                "hits": self.cache_hits_total,
+                "misses": self.cache_misses_total,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "queue": {
+                "depth": queue_depth,
+                "capacity": queue_capacity,
+                "inflight_keys": inflight_keys,
+            },
+            "jobs": {
+                "active": jobs_active,
+                "submitted": self.jobs_submitted_total,
+                "completed": self.jobs_completed_total,
+                "failed": self.jobs_failed_total,
+            },
+        }

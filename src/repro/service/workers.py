@@ -1,0 +1,70 @@
+"""Warm worker pool: persistent executors for engine evaluations.
+
+The one-shot CLI pays interpreter startup + package import + workload
+construction per evaluation; the service keeps a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` of warm workers
+instead, reusing the exact task codec and worker entry point of the
+sweep's pool (:mod:`repro.dse.parallel`) so service results are the
+same payloads the sweep computes and the cache stores.
+"""
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.dse.parallel import evaluate_payload
+
+
+def _warm_worker(_index):
+    """Pay the modeling-package import (and source-tree digest) once
+    per worker at startup instead of on the first request."""
+    import repro.dse.sweep                      # noqa: F401
+    from repro.dse.cache import engine_version_hash
+    return engine_version_hash()
+
+
+class EvaluationPool:
+    """Async facade over a persistent executor of evaluation workers.
+
+    *mode* is ``"process"`` (production: true parallelism, isolation
+    from engine crashes) or ``"thread"`` (tests / debugging: same
+    process, works with in-memory stub evaluators).  *evaluator* is
+    ``task -> (payload, seconds)`` and defaults to the sweep's worker
+    entry point; a process pool requires it to be picklable.
+    """
+
+    def __init__(self, workers=1, mode="process", evaluator=None):
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.workers = max(1, int(workers))
+        self.mode = mode
+        self._evaluator = evaluator if evaluator is not None \
+            else evaluate_payload
+        self._executor = None
+
+    async def start(self, warm=True):
+        if self._executor is not None:
+            return
+        if self.mode == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-eval")
+        if warm and self.mode == "process":
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(*(
+                loop.run_in_executor(self._executor, _warm_worker, i)
+                for i in range(self.workers)))
+
+    async def evaluate(self, task):
+        """Run one evaluation on a warm worker; ``(payload, seconds)``."""
+        if self._executor is None:
+            await self.start(warm=False)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._evaluator, task)
+
+    def shutdown(self, wait=True):
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None

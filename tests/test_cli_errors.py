@@ -1,0 +1,71 @@
+"""CLI contract tests: --version and nonzero-exit error handling.
+
+Every subcommand must exit nonzero on operational failure with a
+one-line ``repro <command>: error: ...`` message instead of a bare
+traceback (``REPRO_DEBUG=1`` re-raises for debugging).
+"""
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestErrorExitCodes:
+    @pytest.mark.parametrize("argv", [
+        ["trace", "no-such-benchmark"],
+        ["run", "no-such-benchmark", "--scale", "0.1"],
+        ["classify", "no-such-benchmark"],
+    ])
+    def test_unknown_benchmark_is_friendly(self, argv, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert f"repro {argv[0]}: error:" in err
+        assert "unknown benchmark" in err
+        assert "Traceback" not in err
+
+    def test_unknown_bsa_in_run(self, capsys):
+        assert main(["run", "conv", "--scale", "0.1",
+                     "--bsas", "simd,warp"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown BSAs" in err
+
+    def test_sweep_unknown_benchmark(self, capsys):
+        assert main(["sweep", "no-such-benchmark",
+                     "--scale", "0.1"]) == 1
+        err = capsys.readouterr().err
+        assert "repro sweep: error:" in err
+
+    def test_debug_env_reraises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(Exception):
+            main(["trace", "no-such-benchmark"])
+
+    def test_success_still_exits_zero(self, capsys):
+        assert main(["trace", "conv", "--scale", "0.1"]) == 0
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3",
+             "--pool", "thread", "--queue-depth", "5",
+             "--max-jobs", "2", "--no-cache",
+             "--drain-timeout", "7.5"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.pool == "thread"
+        assert args.queue_depth == 5
+        assert args.max_jobs == 2
+        assert args.no_cache is True
+        assert args.drain_timeout == 7.5

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core_model import OOO2
-from repro.dse.report import render_table, geomean, REFERENCE_CORE
+from repro.dse.report import (
+    render_table, geomean, service_metrics_table, REFERENCE_CORE,
+)
 from repro.exocore.evaluator import CoreBaseline, _concat
 from repro.exocore.schedule import ScheduleResult
 from repro.tdg.engine import TimingResult
@@ -28,6 +30,29 @@ class TestRenderTable:
         rows = [{"a": 1}, {"a": 2, "b": 3}]
         text = render_table(rows, columns=("a", "b"))
         assert text.count("\n") == 3
+
+
+class TestServiceMetricsTable:
+    def test_rows_from_snapshot(self):
+        snapshot = {"endpoints": {
+            "/v1/evaluate": {
+                "requests": 5, "errors": 1,
+                "latency": {"mean_ms": 12.5, "p95_ms": 40.0,
+                            "max_ms": 55.0},
+            },
+            "/v1/healthz": {"requests": 2, "errors": 0},
+        }}
+        rows = service_metrics_table(snapshot)
+        assert [r["endpoint"] for r in rows] == ["/v1/evaluate",
+                                                 "/v1/healthz"]
+        assert rows[0]["requests"] == 5
+        assert rows[0]["p95_ms"] == 40.0
+        assert rows[1]["mean_ms"] == 0.0      # no latency block
+        assert "p95_ms" in render_table(rows)
+
+    def test_empty_snapshot(self):
+        assert service_metrics_table({}) == []
+        assert service_metrics_table(None) == []
 
 
 class TestReferenceNormalization:

@@ -1,0 +1,160 @@
+"""Unit tests for the retrying service client.
+
+A scripted stdlib HTTP server plays the part of the service, so the
+retry/backoff/timeout discipline is tested in isolation: 429/503 with
+``Retry-After`` must be retried, 4xx must not, connection failures
+must retry then surface as :class:`ServiceError`.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import JobFailed, ServiceClient, ServiceError
+
+
+class ScriptedServer:
+    """HTTP server answering from a fixed script of responses."""
+
+    def __init__(self, script):
+        self.script = list(script)      # [(status, headers, payload)]
+        self.requests = []              # [(method, path, body)]
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _serve(self):
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length) if length else b""
+                server.requests.append(
+                    (self.command, self.path, body.decode() or None))
+                status, headers, payload = (
+                    server.script.pop(0) if server.script
+                    else (500, {}, {"error": "script exhausted"}))
+                blob = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(blob)))
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.end_headers()
+                self.wfile.write(blob)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *args):
+                pass
+
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.url = f"http://127.0.0.1:{self.httpd.server_port}"
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(10)
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def factory(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+def make_client(url, **overrides):
+    kwargs = dict(timeout=10, retries=3, backoff=0.01, max_backoff=0.05)
+    kwargs.update(overrides)
+    return ServiceClient(url, **kwargs)
+
+
+class TestRetries:
+    def test_retries_through_429_with_retry_after(self, scripted):
+        server = scripted([
+            (429, {"Retry-After": "0"}, {"error": "busy"}),
+            (429, {"Retry-After": "0"}, {"error": "busy"}),
+            (200, {}, {"source": "computed", "record": {}}),
+        ])
+        client = make_client(server.url)
+        result = client.evaluate("conv")
+        assert result["source"] == "computed"
+        assert len(server.requests) == 3
+
+    def test_retries_through_503(self, scripted):
+        server = scripted([
+            (503, {}, {"error": "draining"}),
+            (200, {}, {"status": "ok"}),
+        ])
+        assert make_client(server.url).healthz() == {"status": "ok"}
+        assert len(server.requests) == 2
+
+    def test_gives_up_after_retry_budget(self, scripted):
+        server = scripted([(429, {"Retry-After": "0"},
+                            {"error": "busy"})] * 10)
+        client = make_client(server.url, retries=2)
+        with pytest.raises(ServiceError) as info:
+            client.healthz()
+        assert info.value.status == 429
+        assert len(server.requests) == 3        # initial + 2 retries
+
+    def test_400_is_not_retried(self, scripted):
+        server = scripted([(400, {}, {"error": "bad benchmark"})])
+        client = make_client(server.url)
+        with pytest.raises(ServiceError) as info:
+            client.evaluate("nope")
+        assert info.value.status == 400
+        assert info.value.payload["error"] == "bad benchmark"
+        assert len(server.requests) == 1
+
+    def test_connection_refused_surfaces_after_retries(self):
+        client = make_client("http://127.0.0.1:9", retries=1)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+
+class TestJobHelpers:
+    def test_wait_job_polls_to_done(self, scripted):
+        server = scripted([
+            (200, {}, {"status": "running",
+                       "progress": {"done": 0, "total": 1}}),
+            (200, {}, {"status": "done",
+                       "progress": {"done": 1, "total": 1},
+                       "result": {"benchmarks": {}}}),
+        ])
+        client = make_client(server.url)
+        job = client.wait_job("abc", poll_interval=0.01, timeout=10)
+        assert job["status"] == "done"
+        assert server.requests[0][1] == "/v1/jobs/abc"
+
+    def test_wait_job_raises_on_failure(self, scripted):
+        server = scripted([
+            (200, {}, {"status": "failed", "error": "boom"}),
+        ])
+        client = make_client(server.url)
+        with pytest.raises(JobFailed, match="boom"):
+            client.wait_job("abc", poll_interval=0.01, timeout=10)
+
+    def test_wait_job_times_out(self, scripted):
+        server = scripted([(200, {}, {"status": "running"})] * 50)
+        client = make_client(server.url)
+        with pytest.raises(ServiceError, match="still running"):
+            client.wait_job("abc", poll_interval=0.01, timeout=0.05)
+
+    def test_sweep_returns_job_id(self, scripted):
+        server = scripted([(202, {}, {"job_id": "xyz",
+                                      "status": "queued"})])
+        client = make_client(server.url)
+        assert client.sweep(["conv"], scale=0.1) == "xyz"
+        method, path, body = server.requests[0]
+        assert (method, path) == ("POST", "/v1/sweep")
+        assert json.loads(body) == {"names": ["conv"], "scale": 0.1}

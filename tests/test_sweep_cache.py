@@ -71,6 +71,51 @@ class TestCacheKey:
         assert engine_version_hash() == engine_version_hash()
         assert len(engine_version_hash()) == 16
 
+    def test_source_tree_hashed_once_per_process(self, monkeypatch):
+        """Key construction must not rehash the modeling source tree.
+
+        A long-lived server builds a cache key per request; the
+        digest walks and reads every modeling source file, so it has
+        to be computed exactly once per process.
+        """
+        calls = []
+        real = cache_mod._compute_engine_hash
+
+        def counting():
+            calls.append(1)
+            return real()
+
+        monkeypatch.setattr(cache_mod, "_compute_engine_hash",
+                            counting)
+        cache_mod.reset_engine_hash()
+        try:
+            first = key_with()
+            for _ in range(10):
+                assert key_with() == first
+            engine_version_hash()
+            assert len(calls) == 1
+        finally:
+            cache_mod.reset_engine_hash()
+
+    def test_reset_engine_hash_forces_recompute(self, monkeypatch):
+        calls = []
+        real = cache_mod._compute_engine_hash
+
+        def counting():
+            calls.append(1)
+            return real()
+
+        monkeypatch.setattr(cache_mod, "_compute_engine_hash",
+                            counting)
+        cache_mod.reset_engine_hash()
+        try:
+            engine_version_hash()
+            cache_mod.reset_engine_hash()
+            engine_version_hash()
+            assert len(calls) == 2
+        finally:
+            cache_mod.reset_engine_hash()
+
 
 class TestInvalidation:
     def test_scale_change_forces_recompute(self, tmp_path):
