@@ -3,7 +3,9 @@
 
 Issues an evaluate request, repeats it to prove the second hit is
 served from cache/coalescing without recomputation, submits a sweep
-job and waits for it, then checks the metrics counters add up.
+job and waits for it, then checks the metrics counters add up — in
+both the JSON snapshot and the Prometheus text exposition
+(``/v1/metrics?format=prom``), which is validated syntactically.
 Exits nonzero with a message on any violation.  The server lifecycle
 (start, SIGTERM, exit-code check) belongs to the caller.
 
@@ -12,6 +14,7 @@ Usage: python scripts/service_smoke.py --url http://127.0.0.1:8901
 
 import argparse
 import sys
+import urllib.request
 
 
 def fail(message):
@@ -72,6 +75,26 @@ def main(argv=None):
           f"{metrics['computations_total']} "
           f"cache={metrics['cache']} "
           f"rejected={metrics['rejected_total']}")
+
+    from repro.obs import validate_prom_text
+    request = urllib.request.Request(
+        f"{args.url}/v1/metrics?format=prom")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        content_type = response.headers.get("Content-Type", "")
+        trace_id = response.headers.get("X-Trace-Id", "")
+        prom_text = response.read().decode("utf-8")
+    if not content_type.startswith("text/plain"):
+        return fail(f"prom endpoint content type: {content_type!r}")
+    if len(trace_id) != 16:
+        return fail(f"bad X-Trace-Id header: {trace_id!r}")
+    try:
+        samples = validate_prom_text(prom_text)
+    except ValueError as exc:
+        return fail(f"invalid Prometheus exposition: {exc}")
+    if "# TYPE service_computations_total counter" not in prom_text:
+        return fail("service counters missing from prom exposition")
+    print(f"[smoke] prom exposition ok ({samples} samples, "
+          f"trace id {trace_id})")
     print("[smoke] OK")
     return 0
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Smoke-check the Chrome trace exporter (used by CI).
+
+Runs ``repro trace <benchmark> --out`` and validates the emitted file:
+every event carries the keys Perfetto requires (``ph``/``ts``/``pid``/
+``tid``), the pipeline spans are present, and at least one
+modeled-timeline region track rides along.  Exits nonzero with a
+message on any violation.
+
+Usage: python scripts/trace_smoke.py [--benchmark conv] [--scale 0.2]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(message):
+    print(f"[trace-smoke] FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--benchmark", default="conv")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--out", default=None,
+                        help="trace path (default: a temp file)")
+    args = parser.parse_args(argv)
+
+    from repro.cli import main as repro_main
+    from repro.obs import (
+        MODELED_PID, REQUIRED_EVENT_KEYS, validate_chrome_trace,
+    )
+
+    out = args.out or str(Path(tempfile.mkdtemp()) / "trace.json")
+    rc = repro_main(["trace", args.benchmark,
+                     "--scale", str(args.scale), "--out", out])
+    if rc != 0:
+        return fail(f"repro trace exited {rc}")
+
+    payload = json.loads(Path(out).read_text())
+    try:
+        events = validate_chrome_trace(payload)
+    except ValueError as exc:
+        return fail(f"invalid trace: {exc}")
+    for index, event in enumerate(events):
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            return fail(f"event {index} missing {missing}")
+
+    spans = {e["name"] for e in events
+             if e["ph"] == "X" and e["pid"] != MODELED_PID}
+    expected = {"workload.build", "sim.interpret", "tdg.construct",
+                "tdg.engine.run", "exocore.evaluate"}
+    if not expected <= spans:
+        return fail(f"pipeline spans missing: {expected - spans}")
+    modeled = [e for e in events
+               if e["ph"] == "X" and e["pid"] == MODELED_PID]
+    if not modeled:
+        return fail("no modeled-timeline region track in the trace")
+
+    print(f"[trace-smoke] {len(events)} events, "
+          f"{len(spans)} span names, "
+          f"{len(modeled)} modeled regions -> {out}")
+    print("[trace-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

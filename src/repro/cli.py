@@ -50,6 +50,8 @@ def _cmd_list(_args):
 
 
 def _cmd_trace(args):
+    if args.out:
+        return _cmd_trace_export(args)
     tdg = _workload(args.name).construct_tdg(scale=args.scale)
     trace = tdg.trace
     print(f"{args.name}: {len(trace)} dynamic instructions, "
@@ -62,6 +64,47 @@ def _cmd_trace(args):
                     key=lambda kv: -kv[1])[:10]
     print("top opcodes:", ", ".join(
         f"{op.value}={n}" for op, n in counts))
+    return 0
+
+
+def _cmd_trace_export(args):
+    """``repro trace NAME --out t.json``: Perfetto-loadable trace.
+
+    Records the whole pipeline (build -> simulate -> TDG -> evaluate
+    -> schedule) as spans, then appends the modeled switching timeline
+    (paper Fig. 14) as a separate track whose time axis is baseline
+    cycles, and writes one Chrome trace-event JSON file.
+    """
+    from repro.exocore import evaluate_benchmark, oracle_schedule
+    from repro.obs import (
+        enable, get_recorder, modeled_timeline_events, span_summary,
+        write_chrome_trace,
+    )
+
+    bsas = tuple(args.bsas.split(",")) if args.bsas else ALL_BSAS
+    unknown = [b for b in bsas if b not in ALL_BSAS]
+    if unknown:
+        raise CLIError(f"unknown BSAs {unknown!r} "
+                       f"(known: {', '.join(ALL_BSAS)})")
+    workload = _workload(args.name)
+    enable(reset=True)
+    tdg = workload.construct_tdg(scale=args.scale)
+    evaluation = evaluate_benchmark(
+        tdg, core_names=(args.core,), bsa_names=bsas, name=args.name)
+    schedule = oracle_schedule(evaluation, args.core, bsas)
+    modeled = modeled_timeline_events(
+        evaluation, schedule, core_name=args.core,
+        benchmark=args.name)
+    write_chrome_trace(args.out, extra_events=modeled,
+                       label=f"repro pipeline: {args.name}")
+    recorder = get_recorder()
+    print(f"[trace] {args.name}: {len(recorder)} pipeline spans + "
+          f"{len(modeled)} modeled-timeline events -> {args.out}")
+    for row in span_summary(recorder, top=5):
+        print(f"[trace]   {row['span']:<28} x{row['count']:<4} "
+              f"total {row['total_ms']:.1f} ms")
+    print(f"[trace] open in https://ui.perfetto.dev "
+          f"(or chrome://tracing)")
     return 0
 
 
@@ -116,10 +159,15 @@ def _cmd_classify(args):
 def _cmd_sweep(args):
     from repro.dse import run_sweep, fig10_table, fig12_table
     from repro.dse.report import (
-        render_table, sweep_stats_summary, sweep_stats_table,
+        render_table, span_summary_table, sweep_stats_summary,
+        sweep_stats_table,
     )
     from repro.dse.plots import frontier_plot
     names = args.names or None
+    obs_on = (args.obs or bool(args.obs_out)) and not args.no_obs
+    if obs_on:
+        from repro.obs import enable
+        enable(reset=True)
     sweep = run_sweep(names=names, scale=args.scale,
                       with_amdahl=False,
                       workers=args.workers,
@@ -136,6 +184,15 @@ def _cmd_sweep(args):
           f"dir={summary['cache_dir']})", file=sys.stderr)
     if args.timings:
         print(render_table(sweep_stats_table(sweep)), file=sys.stderr)
+        if obs_on:
+            print("[sweep] slowest spans:", file=sys.stderr)
+            print(render_table(span_summary_table(top=10)),
+                  file=sys.stderr)
+    if args.obs_out:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(args.obs_out, label="repro sweep")
+        print(f"[sweep] trace written to {args.obs_out}",
+              file=sys.stderr)
     print("== Fig 10: tradeoffs ==")
     print(render_table(fig10_table(sweep)))
     rows = fig12_table(sweep)
@@ -180,9 +237,19 @@ def build_parser():
 
     sub.add_parser("list", help="list workloads")
 
-    p = sub.add_parser("trace", help="trace statistics")
+    p = sub.add_parser("trace", help="trace statistics / trace export")
     p.add_argument("name")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", default=None,
+                   help="write a Chrome trace-event JSON file "
+                        "(pipeline spans + modeled timeline) instead "
+                        "of printing statistics")
+    p.add_argument("--core", default="OOO2",
+                   help="core config for the modeled timeline "
+                        "(with --out; default OOO2)")
+    p.add_argument("--bsas", default=None,
+                   help="comma-separated BSA subset for the modeled "
+                        "timeline (with --out; default: all four)")
 
     p = sub.add_parser("run", help="evaluate one benchmark")
     p.add_argument("name")
@@ -208,6 +275,14 @@ def build_parser():
                         "or ~/.cache/repro-dse)")
     p.add_argument("--timings", action="store_true",
                    help="print the per-benchmark timing table")
+    p.add_argument("--obs", action="store_true",
+                   help="record pipeline spans (workers ship theirs "
+                        "back; results are unchanged)")
+    p.add_argument("--no-obs", action="store_true",
+                   help="force span recording off")
+    p.add_argument("--obs-out", default=None,
+                   help="write the recorded spans as Chrome "
+                        "trace-event JSON (implies --obs)")
 
     p = sub.add_parser("validate", help="Table 1 validation")
     p.add_argument("--scale", type=float, default=0.3)

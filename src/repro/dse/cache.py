@@ -24,6 +24,7 @@ import warnings
 from pathlib import Path
 
 from repro.core_model import core_by_name
+from repro.obs import counter, span
 
 #: Bumped when the cached record layout changes (forces a cold run).
 CACHE_FORMAT = 1
@@ -147,29 +148,44 @@ class SweepCache:
         """Return the cached record payload, or None on miss.
 
         A corrupt / truncated / unreadable entry is deleted and
-        reported as a warning; an entry written by a different cache
-        format is a silent miss.
+        reported as a warning (and counted in
+        ``repro_cache_corrupt_total``); an entry written by a
+        different cache format is a silent miss.  Every outcome is
+        visible in the obs registry — the warm-cache tests assert the
+        hit counter directly instead of inferring it from timing.
         """
         path = self.path_for(key)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            if not isinstance(payload, dict):
-                raise ValueError("cache entry is not an object")
-            if payload.get("format") != CACHE_FORMAT:
-                return None
-            return payload["record"]
-        except FileNotFoundError:
-            return None
-        except (ValueError, KeyError, OSError) as exc:
-            warnings.warn(
-                f"discarding corrupt sweep cache entry {path}: {exc}",
-                RuntimeWarning, stacklevel=2)
+        with span("dse.cache.load", key=key[:12]) as current:
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+                with open(path) as handle:
+                    payload = json.load(handle)
+                if not isinstance(payload, dict):
+                    raise ValueError("cache entry is not an object")
+                if payload.get("format") != CACHE_FORMAT:
+                    self._count("misses", current, "stale-format")
+                    return None
+                self._count("hits", current, "hit")
+                return payload["record"]
+            except FileNotFoundError:
+                self._count("misses", current, "miss")
+                return None
+            except (ValueError, KeyError, OSError) as exc:
+                warnings.warn(
+                    f"discarding corrupt sweep cache entry {path}: "
+                    f"{exc}", RuntimeWarning, stacklevel=2)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                self._count("corrupt", current, "corrupt")
+                self._count("misses", current, "corrupt")
+                return None
+
+    @staticmethod
+    def _count(event, current_span, outcome):
+        counter(f"repro_cache_{event}_total",
+                f"sweep cache {event} (lookups and recoveries)").inc()
+        current_span.set(outcome=outcome)
 
     def store(self, key, record):
         """Atomically persist one benchmark record under *key*."""
@@ -179,9 +195,12 @@ class SweepCache:
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp, path)
+            with span("dse.cache.store", key=key[:12]):
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, path)
+            counter("repro_cache_stores_total",
+                    "sweep cache entries written").inc()
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -6,6 +6,13 @@ across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers
 return plain JSON-able record payloads (the same form the on-disk
 cache stores), which the parent merges deterministically regardless of
 completion order.
+
+Observability crosses the same boundary: when a task carries
+``"obs": True``, the worker runs it under an isolated span recorder
+and metrics registry (:func:`repro.obs.isolated`) and ships the
+JSON snapshots back alongside the record, so the parent can merge
+worker metrics (commutative sums — shard order cannot perturb them)
+and splice worker spans onto its own trace timeline.
 """
 
 import time
@@ -20,7 +27,9 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
     the sweep's process pool, the on-disk cache's key material, and the
     evaluation service's warm workers.  Keeping construction in one
     place guarantees a task built by any of them hashes and evaluates
-    identically.
+    identically.  (The optional ``obs`` key is injected by
+    :func:`run_tasks`, never by callers — it shapes what the worker
+    reports, not what it computes.)
     """
     return {
         "name": name,
@@ -38,24 +47,39 @@ def evaluate_task(task):
     *task* is a plain dict (picklable across the pool boundary) with
     keys ``name``, ``core_names``, ``subsets``, ``scale``,
     ``max_invocations`` and ``with_amdahl``.  Returns
-    ``(name, record_payload, seconds)`` where *record_payload* is the
-    JSON form of a :class:`~repro.dse.sweep.BenchmarkResult`.
+    ``(name, record_payload, seconds, obs_payload)`` where
+    *record_payload* is the JSON form of a
+    :class:`~repro.dse.sweep.BenchmarkResult` and *obs_payload* is
+    ``None``, or ``{"spans": [...], "metrics": {...}}`` when the task
+    carried ``"obs": True``.
     """
     # Imported lazily: workers under the ``spawn`` start method import
     # this module before the rest of the package is loaded.
     from repro.dse.sweep import evaluate_one_benchmark, record_to_json
 
+    def evaluate():
+        return evaluate_one_benchmark(
+            task["name"],
+            core_names=tuple(task["core_names"]),
+            subsets=tuple(tuple(s) for s in task["subsets"]),
+            scale=task["scale"],
+            max_invocations=task["max_invocations"],
+            with_amdahl=task["with_amdahl"],
+        )
+
     started = time.perf_counter()
-    record = evaluate_one_benchmark(
-        task["name"],
-        core_names=tuple(task["core_names"]),
-        subsets=tuple(tuple(s) for s in task["subsets"]),
-        scale=task["scale"],
-        max_invocations=task["max_invocations"],
-        with_amdahl=task["with_amdahl"],
-    )
+    obs_payload = None
+    if task.get("obs"):
+        from repro.obs import isolated
+
+        with isolated() as (registry, recorder):
+            record = evaluate()
+            obs_payload = {"spans": recorder.export(),
+                           "metrics": registry.snapshot()}
+    else:
+        record = evaluate()
     elapsed = time.perf_counter() - started
-    return task["name"], record_to_json(record), elapsed
+    return task["name"], record_to_json(record), elapsed, obs_payload
 
 
 def evaluate_payload(task):
@@ -65,18 +89,24 @@ def evaluate_payload(task):
     redundant name echo; kept module-level so it pickles across a
     ``ProcessPoolExecutor`` boundary.
     """
-    _name, payload, elapsed = evaluate_task(task)
+    _name, payload, elapsed, _obs = evaluate_task(task)
     return payload, elapsed
 
 
-def run_tasks(tasks, workers=1, on_result=None):
+def run_tasks(tasks, workers=1, on_result=None, obs=False):
     """Evaluate *tasks*, fanning out across *workers* processes.
 
     ``workers <= 1`` runs inline (no subprocesses, easier debugging).
-    *on_result* is called as ``on_result(name, payload, seconds)`` as
-    each benchmark completes — in submission order when serial, in
-    completion order when parallel — which is what lets the sweep
-    persist finished benchmarks immediately (incremental resume).
+    *on_result* is called as ``on_result(name, payload, seconds,
+    obs_payload)`` as each benchmark completes — in submission order
+    when serial, in completion order when parallel — which is what
+    lets the sweep persist finished benchmarks immediately
+    (incremental resume).
+
+    With *obs*, pool tasks are flagged to record spans/metrics in the
+    worker and ship them back (*obs_payload*); inline tasks record
+    straight into the caller's enabled recorder/registry instead, so
+    ``obs_payload`` is ``None`` for them.
 
     Returns ``{name: payload}``; ordering is NOT significant — callers
     must merge deterministically (the sweep sorts by name).
@@ -85,18 +115,20 @@ def run_tasks(tasks, workers=1, on_result=None):
     results = {}
     if workers <= 1 or len(tasks) <= 1:
         for task in tasks:
-            name, payload, elapsed = evaluate_task(task)
+            name, payload, elapsed, obs_payload = evaluate_task(task)
             results[name] = payload
             if on_result is not None:
-                on_result(name, payload, elapsed)
+                on_result(name, payload, elapsed, obs_payload)
         return results
+    if obs:
+        tasks = [dict(task, obs=True) for task in tasks]
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) \
             as pool:
         futures = {pool.submit(evaluate_task, task): task["name"]
                    for task in tasks}
         for future in as_completed(futures):
-            name, payload, elapsed = future.result()
+            name, payload, elapsed, obs_payload = future.result()
             results[name] = payload
             if on_result is not None:
-                on_result(name, payload, elapsed)
+                on_result(name, payload, elapsed, obs_payload)
     return results

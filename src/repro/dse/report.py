@@ -189,6 +189,24 @@ def service_metrics_table(snapshot):
     return rows
 
 
+def span_summary_table(recorder_or_records=None, top=10):
+    """Top-N spans by total wall time, for :func:`render_table`.
+
+    Accepts a :class:`repro.obs.Recorder` (default: the global one) or
+    a plain list of span records.  One row per span name — call count,
+    total/self/max milliseconds — which is what ``repro sweep
+    --timings`` and the service's shutdown report print.
+    """
+    from repro.obs import span_summary
+    rows = span_summary(recorder_or_records, top=top)
+    return [{"span": row["span"],
+             "count": row["count"],
+             "total_ms": row["total_ms"],
+             "self_ms": row["self_ms"],
+             "max_ms": row["max_ms"]}
+            for row in rows]
+
+
 def render_table(rows, columns=None, float_format="{:.3f}"):
     """Plain-text table rendering for the benchmark harness output."""
     if not rows:

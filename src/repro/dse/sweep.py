@@ -22,6 +22,9 @@ from repro.core_model.config import DSE_CORES
 from repro.exocore import (
     evaluate_benchmark, oracle_schedule, amdahl_schedule,
 )
+from repro.obs import (
+    counter, get_recorder, get_registry, histogram, is_enabled, span,
+)
 from repro.workloads import WORKLOADS
 
 #: All four BSAs in canonical order.
@@ -175,6 +178,15 @@ class SweepStats:
     def add(self, name, source, seconds):
         self.entries.append(
             {"name": name, "source": source, "seconds": seconds})
+        # Timings also flow through the metrics registry so the obs
+        # surfaces (prom text, span summaries) see them — but never
+        # into the serialized sweep artifact, which stays byte-stable
+        # with or without observability enabled.
+        counter("repro_sweep_benchmarks_total",
+                "benchmarks resolved by the sweep").inc(source=source)
+        histogram("repro_sweep_benchmark_seconds",
+                  "wall time to resolve one benchmark") \
+            .observe(seconds, source=source)
 
     @property
     def hits(self):
@@ -226,24 +238,26 @@ def evaluate_one_benchmark(name, core_names=DSE_CORES,
     this is what makes per-benchmark results cacheable and the sweep
     shardable across processes.
     """
-    workload = WORKLOADS[name]
-    tdg = workload.construct_tdg(scale=scale)
-    evaluation = evaluate_benchmark(
-        tdg, core_names=core_names, bsa_names=ALL_BSAS,
-        max_invocations=max_invocations, name=name)
-    record = BenchmarkResult(name, workload.suite, workload.category)
-    for core in core_names:
-        base = evaluation.baseline(core)
-        record.baseline[core] = (base.cycles, base.energy_pj,
-                                 len(tdg.trace))
-    for core in core_names:
-        for subset in subsets:
-            schedule = oracle_schedule(evaluation, core, subset)
-            record.oracle[(core, subset)] = _summarize(schedule)
-        if with_amdahl:
-            schedule = amdahl_schedule(evaluation, core, ALL_BSAS)
-            record.amdahl[core] = _summarize(schedule)
-    return record
+    with span("dse.evaluate_benchmark", benchmark=name, scale=scale):
+        workload = WORKLOADS[name]
+        tdg = workload.construct_tdg(scale=scale)
+        evaluation = evaluate_benchmark(
+            tdg, core_names=core_names, bsa_names=ALL_BSAS,
+            max_invocations=max_invocations, name=name)
+        record = BenchmarkResult(name, workload.suite,
+                                 workload.category)
+        for core in core_names:
+            base = evaluation.baseline(core)
+            record.baseline[core] = (base.cycles, base.energy_pj,
+                                     len(tdg.trace))
+        for core in core_names:
+            for subset in subsets:
+                schedule = oracle_schedule(evaluation, core, subset)
+                record.oracle[(core, subset)] = _summarize(schedule)
+            if with_amdahl:
+                schedule = amdahl_schedule(evaluation, core, ALL_BSAS)
+                record.amdahl[core] = _summarize(schedule)
+        return record
 
 
 def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
@@ -277,7 +291,25 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
 
     Returns a :class:`SweepResult` whose ``stats`` attribute records
     per-benchmark timing and cache hit/miss counts.
+
+    When observability is enabled (:func:`repro.obs.enable`), the
+    whole run is wrapped in a ``dse.sweep.run`` span and pool workers
+    ship their spans/metrics back for a deterministic merge; none of
+    this changes any numeric result or serialized artifact.
     """
+    with span("dse.sweep.run", workers=workers) as current:
+        sweep = _run_sweep(
+            names=names, core_names=core_names, subsets=subsets,
+            scale=scale, max_invocations=max_invocations,
+            with_amdahl=with_amdahl, progress=progress,
+            workers=workers, cache_dir=cache_dir, use_cache=use_cache)
+        current.set(benchmarks=len(sweep), cached=sweep.stats.hits,
+                    computed=sweep.stats.misses)
+        return sweep
+
+
+def _run_sweep(names, core_names, subsets, scale, max_invocations,
+               with_amdahl, progress, workers, cache_dir, use_cache):
     from repro.dse.cache import SweepCache, cache_key, default_cache_dir
     from repro.dse.parallel import make_task, run_tasks
 
@@ -317,17 +349,27 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
             name, core_names, subsets, scale=scale,
             max_invocations=max_invocations, with_amdahl=with_amdahl))
 
-    def on_result(name, payload, elapsed):
+    def on_result(name, payload, elapsed, obs_payload=None):
         payloads[name] = payload
         # Persist immediately so a killed sweep resumes from every
         # benchmark that finished, not just the ones before a barrier.
         if cache is not None:
             cache.store(keys[name], payload)
         stats.add(name, "computed", elapsed)
+        if obs_payload is not None:
+            # Worker-side observability, shipped through the task
+            # codec.  Counter/histogram merges are commutative sums,
+            # so completion order cannot perturb the merged values;
+            # worker spans are spliced in ending at the merge point.
+            recorder = get_recorder()
+            get_registry().merge_snapshot(obs_payload["metrics"])
+            recorder.absorb(obs_payload["spans"],
+                            align_end_us=recorder.now_us())
         if progress is not None:
             progress(name)
 
-    run_tasks(pending, workers=workers, on_result=on_result)
+    run_tasks(pending, workers=workers, on_result=on_result,
+              obs=is_enabled())
 
     # Deterministic merge: records enter the result in sorted-name
     # order, rebuilt from canonical payloads, so worker count, shard

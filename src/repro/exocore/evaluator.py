@@ -8,6 +8,7 @@ transforming and re-timing only the affected trace slices.
 from repro.accel import BSA_REGISTRY, AnalysisContext
 from repro.analysis.regions import attribute_baseline
 from repro.core_model import core_by_name
+from repro.obs import counter, span
 from repro.tdg.engine import TimingEngine
 
 
@@ -67,48 +68,58 @@ def evaluate_benchmark(tdg, core_names=("IO2", "OOO2", "OOO4", "OOO6"),
     are transformed per (BSA, core); the rest extrapolate (the paper's
     windowed approach bounds work the same way).
     """
-    ctx = AnalysisContext(tdg)
-    evaluation = BenchmarkEvaluation(name or tdg.program.name, ctx)
-    trace = tdg.trace.instructions
+    with span("exocore.evaluate", benchmark=name or tdg.program.name):
+        ctx = AnalysisContext(tdg)
+        evaluation = BenchmarkEvaluation(name or tdg.program.name, ctx)
+        trace = tdg.trace.instructions
 
-    # ---- baselines ------------------------------------------------------
-    for core_name in core_names:
-        config = core_by_name(core_name)
-        engine = TimingEngine(config, collect_commit_times=True)
-        result = engine.run(trace)
-        commit_times = result.commit_times
-        per_loop_cycles = attribute_baseline(
-            commit_times, ctx.intervals, result.cycles)
-        energy_model = ctx.energy_model(config)
-        total_energy = energy_model.evaluate(trace, result.cycles)
-        per_loop_energy = {}
-        for key, spans in ctx.intervals.items():
-            if not spans:
-                per_loop_energy[key] = 0.0
-                continue
-            stream = _concat(trace, spans)
-            breakdown = energy_model.evaluate(
-                stream, per_loop_cycles.get(key, 0))
-            per_loop_energy[key] = breakdown.total_pj
-        evaluation.baselines[core_name] = CoreBaseline(
-            core_name, result.cycles, total_energy.total_pj,
-            per_loop_cycles, per_loop_energy)
-
-    # ---- accelerated estimates ------------------------------------------
-    for bsa in bsa_names:
-        model = BSA_REGISTRY[bsa](detailed=detailed)
-        plans = model.find_candidates(ctx)
-        evaluation.plans[bsa] = plans
+        # ---- baselines --------------------------------------------------
         for core_name in core_names:
-            config = core_by_name(core_name)
-            estimates = {}
-            for key, plan in plans.items():
-                estimate = model.evaluate_region(
-                    ctx, plan, config, max_invocations=max_invocations)
-                if estimate is not None:
-                    estimates[key] = estimate
-            evaluation.estimates[(bsa, core_name)] = estimates
-    return evaluation
+            with span("exocore.baseline", core=core_name):
+                config = core_by_name(core_name)
+                engine = TimingEngine(config, collect_commit_times=True)
+                result = engine.run(trace)
+                commit_times = result.commit_times
+                per_loop_cycles = attribute_baseline(
+                    commit_times, ctx.intervals, result.cycles)
+                energy_model = ctx.energy_model(config)
+                total_energy = energy_model.evaluate(trace, result.cycles)
+                per_loop_energy = {}
+                for key, spans in ctx.intervals.items():
+                    if not spans:
+                        per_loop_energy[key] = 0.0
+                        continue
+                    stream = _concat(trace, spans)
+                    breakdown = energy_model.evaluate(
+                        stream, per_loop_cycles.get(key, 0))
+                    per_loop_energy[key] = breakdown.total_pj
+                evaluation.baselines[core_name] = CoreBaseline(
+                    core_name, result.cycles, total_energy.total_pj,
+                    per_loop_cycles, per_loop_energy)
+
+        # ---- accelerated estimates --------------------------------------
+        for bsa in bsa_names:
+            model = BSA_REGISTRY[bsa](detailed=detailed)
+            with span("accel.find_candidates", bsa=bsa) as current:
+                plans = model.find_candidates(ctx)
+                current.set(candidates=len(plans))
+            evaluation.plans[bsa] = plans
+            for core_name in core_names:
+                config = core_by_name(core_name)
+                estimates = {}
+                with span("accel.estimate_regions", bsa=bsa,
+                          core=core_name):
+                    for key, plan in plans.items():
+                        estimate = model.evaluate_region(
+                            ctx, plan, config,
+                            max_invocations=max_invocations)
+                        if estimate is not None:
+                            estimates[key] = estimate
+                counter("repro_region_estimates_total",
+                        "per-region accelerated estimates produced") \
+                    .inc(len(estimates), bsa=bsa)
+                evaluation.estimates[(bsa, core_name)] = estimates
+        return evaluation
 
 
 def _concat(trace, spans):

@@ -68,6 +68,10 @@ def oracle_schedule(evaluation, core_name, bsa_subset,
     baseline = evaluation.baseline(core_name)
     result = ScheduleResult(core_name, bsa_subset)
 
+    from repro.obs import span as _span
+    obs_span = _span("exocore.schedule.oracle", core=core_name,
+                     subset="/".join(bsa_subset) or "none")
+
     def solve(loop):
         """Returns (cycles, energy, attribution list, assignments)."""
         base_cycles = baseline.per_loop_cycles.get(loop.key, 0)
@@ -117,7 +121,8 @@ def oracle_schedule(evaluation, core_name, bsa_subset,
                 )
         return best
 
-    _compose_program(evaluation, core_name, result, solve)
+    with obs_span:
+        _compose_program(evaluation, core_name, result, solve)
     return result
 
 
@@ -186,7 +191,10 @@ def amdahl_schedule(evaluation, core_name, bsa_subset,
             assign.update(child_result[3])
         return (core_cycles, core_energy, attr, assign)
 
-    _compose_program(evaluation, core_name, result, solve)
+    from repro.obs import span as _span
+    with _span("exocore.schedule.amdahl", core=core_name,
+               subset="/".join(bsa_subset) or "none"):
+        _compose_program(evaluation, core_name, result, solve)
     return result
 
 

@@ -26,14 +26,30 @@ class TimelineSegment:
                 f"{self.end_cycle}) x{self.speedup:.2f}>")
 
 
-def switching_timeline(evaluation, schedule, core_name=None):
+def switching_timeline(evaluation, schedule, core_name=None,
+                       with_attribution=False):
     """Build the Fig. 14-style series for *schedule*.
 
     Returns a list of :class:`TimelineSegment`, ordered by baseline
     execution time.  Speedups are per-region aggregates (the paper's
     trace is similarly region-granular: switching happens at loop
     entries).
+
+    With *with_attribution*, returns ``(segments, crit_histogram)``
+    where the histogram maps critical-path
+    :class:`~repro.tdg.mudg.EdgeKind` to bind counts from the baseline
+    timing run — the stall-class material the modeled-timeline trace
+    track (:mod:`repro.obs.timeline`) attaches to its segments.
     """
+    from repro.obs import span
+    with span("exocore.timeline",
+              core=core_name or schedule.core_name):
+        return _switching_timeline(evaluation, schedule, core_name,
+                                   with_attribution)
+
+
+def _switching_timeline(evaluation, schedule, core_name,
+                        with_attribution):
     core_name = core_name or schedule.core_name
     baseline = evaluation.baseline(core_name)
     ctx = evaluation.ctx
@@ -57,7 +73,8 @@ def switching_timeline(evaluation, schedule, core_name=None):
     from repro.tdg.engine import TimingEngine
     engine = TimingEngine(core_by_name(core_name),
                           collect_commit_times=True)
-    commit_times = engine.run(trace).commit_times
+    timing = engine.run(trace)
+    commit_times = timing.commit_times
 
     segments = []
     covered_until = 0
@@ -80,4 +97,6 @@ def switching_timeline(evaluation, schedule, core_name=None):
     if total > tail_start:
         segments.append(TimelineSegment(tail_start, total, "gpp", 1.0,
                                         None))
+    if with_attribution:
+        return segments, dict(timing.crit_histogram or {})
     return segments

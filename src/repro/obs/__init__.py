@@ -1,0 +1,88 @@
+"""repro.obs — unified tracing and metrics for the modeling pipeline.
+
+The paper's whole value proposition is *analyzability*: the TDG exists
+so an architect can see why a BSA wins, not just the end numbers.  This
+package gives the reproduction the same property operationally:
+
+- :mod:`repro.obs.core` — a :func:`span` tracer (context manager +
+  decorator, contextvars-based so it is safe across threads and asyncio
+  tasks, a shared no-op singleton when disabled) and a typed metrics
+  registry (counters, gauges, fixed-bucket histograms whose merges are
+  deterministic).
+- :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) and Prometheus text exposition.
+- :mod:`repro.obs.timeline` — *modeled-timeline* emission: the paper's
+  Fig. 14 switching segments (which BSA owns which dynamic region, for
+  how many modeled cycles, with what stall class) as a first-class
+  trace track.
+
+Spans record nothing until :func:`enable` is called; metrics counters
+are always live (a dict update) so cache hit rates and evaluation
+counts can be asserted without turning tracing on.
+"""
+
+from repro.obs.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramState,
+    MetricsRegistry,
+    Recorder,
+    SpanHandle,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_recorder,
+    get_registry,
+    histogram,
+    is_enabled,
+    isolated,
+    new_trace_id,
+    span,
+    traced,
+)
+from repro.obs.export import (
+    REQUIRED_EVENT_KEYS,
+    chrome_trace,
+    render_prom,
+    span_summary,
+    validate_chrome_trace,
+    validate_prom_text,
+    write_chrome_trace,
+)
+from repro.obs.timeline import (
+    MODELED_PID,
+    modeled_timeline_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramState",
+    "MetricsRegistry",
+    "Recorder",
+    "SpanHandle",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "get_recorder",
+    "get_registry",
+    "histogram",
+    "is_enabled",
+    "isolated",
+    "new_trace_id",
+    "span",
+    "traced",
+    "REQUIRED_EVENT_KEYS",
+    "chrome_trace",
+    "render_prom",
+    "span_summary",
+    "validate_chrome_trace",
+    "validate_prom_text",
+    "write_chrome_trace",
+    "MODELED_PID",
+    "modeled_timeline_events",
+]

@@ -1,0 +1,501 @@
+"""Span tracer + typed metrics registry (stdlib only).
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  :func:`span` returns one
+   shared no-op object unless tracing has been enabled, so the hot
+   paths of the timing engine pay a module-flag check and nothing else.
+2. **Deterministic merges.**  Counters sum, gauges take the maximum,
+   histograms have fixed bucket boundaries and sum per bucket — so
+   merging worker snapshots is commutative and associative, and a
+   parallel sweep's merged metrics cannot depend on shard completion
+   order.
+3. **Process/thread safety.**  The active span is tracked in a
+   :class:`contextvars.ContextVar` (correct across threads *and*
+   asyncio tasks); registry mutation takes a per-registry lock; worker
+   processes run under :func:`isolated` and ship plain-JSON snapshots
+   back through the sweep's task codec.
+"""
+
+import contextvars
+import functools
+import itertools
+import os
+import threading
+import time
+import uuid
+
+
+# ---------------------------------------------------------------------------
+# Span tracer.
+
+#: Active span id (per thread / per asyncio task).
+_current_span = contextvars.ContextVar("repro_obs_span", default=None)
+
+#: Monotonic span ids, unique within one process.
+_span_ids = itertools.count(1)
+
+
+class SpanHandle:
+    """One live span; use via ``with span("name", key=value):``."""
+
+    __slots__ = ("name", "cat", "args", "_recorder", "_start_ns",
+                 "_token", "id")
+
+    def __init__(self, name, cat, args, recorder):
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.id = next(_span_ids)
+        self._recorder = recorder
+        self._start_ns = 0
+        self._token = None
+
+    def set(self, **args):
+        """Attach/overwrite arguments after the span has started."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self):
+        self._token = _current_span.set(self.id)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end_ns = time.perf_counter_ns()
+        parent = None
+        if self._token is not None:
+            parent = self._token.old_value
+            if parent is contextvars.Token.MISSING:
+                parent = None
+            _current_span.reset(self._token)
+        recorder = self._recorder
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        recorder.add({
+            "name": self.name,
+            "cat": self.cat,
+            "ts": (self._start_ns - recorder.epoch_ns) / 1000.0,
+            "dur": (end_ns - self._start_ns) / 1000.0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "id": self.id,
+            "parent": parent,
+            "args": self.args,
+        })
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **args):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Append-only buffer of finished span records.
+
+    Records are plain dicts already shaped like Chrome trace-event
+    ``X`` entries (``ts``/``dur`` in microseconds relative to
+    ``epoch_ns``), so export is a straight dump.
+    """
+
+    def __init__(self):
+        self.epoch_ns = time.perf_counter_ns()
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)     # list.append is atomic
+
+    def now_us(self):
+        return (time.perf_counter_ns() - self.epoch_ns) / 1000.0
+
+    def clear(self):
+        self.epoch_ns = time.perf_counter_ns()
+        self.records = []
+
+    def export(self):
+        """JSON-able copy of the buffered records."""
+        return list(self.records)
+
+    def absorb(self, records, align_end_us=None):
+        """Merge *records* from another process into this buffer.
+
+        Worker timestamps are relative to the worker's own epoch; when
+        *align_end_us* is given, records are shifted so the latest one
+        ends there — placing a worker's activity where its result
+        arrived on the parent's timeline.
+        """
+        records = [dict(r) for r in records]
+        if align_end_us is not None and records:
+            last = max(r["ts"] + r.get("dur", 0.0) for r in records)
+            offset = align_end_us - last
+            for record in records:
+                record["ts"] += offset
+        self.records.extend(records)
+        return len(records)
+
+    def __len__(self):
+        return len(self.records)
+
+
+# ---------------------------------------------------------------------------
+# Metrics.
+
+class HistogramState:
+    """Counts for one histogram series (fixed bucket boundaries).
+
+    The quantile estimate is the upper bound of the bucket holding the
+    target rank — the standard, slightly pessimistic fixed-bucket
+    estimate — clamped to the observed maximum.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "max")
+
+    #: Default 1-2.5-5 decade ladder, in seconds.
+    BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+              0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+    def __init__(self, bounds=None):
+        self.bounds = tuple(bounds) if bounds is not None else self.BOUNDS
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q):
+        """Estimated q-quantile (0 when empty)."""
+        if not self.count:
+            return 0.0
+        target = max(1, int(q * self.count + 0.999999))
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.counts[index]
+            if cumulative >= target:
+                return min(bound, self.max)
+        return self.max
+
+    def merge(self, other):
+        """Fold another state (or its snapshot dict) into this one."""
+        if isinstance(other, dict):
+            counts, count = other["counts"], other["count"]
+            total, peak = other["sum"], other["max"]
+        else:
+            counts, count = other.counts, other.count
+            total, peak = other.sum, other.max
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram bucket boundaries differ")
+        for index, n in enumerate(counts):
+            self.counts[index] += n
+        self.count += count
+        self.sum += total
+        if peak > self.max:
+            self.max = peak
+
+    def to_json(self):
+        return {"counts": list(self.counts), "count": self.count,
+                "sum": self.sum, "max": self.max}
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Base: a named family of label-keyed series."""
+
+    kind = None
+
+    def __init__(self, name, help_text, registry):
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self.series = {}        # label tuple -> scalar / HistogramState
+
+    def labeled(self):
+        """``[(labels_dict, value), ...]`` in sorted label order."""
+        return [(dict(key), value)
+                for key, value in sorted(self.series.items())]
+
+    def value(self, **labels):
+        return self.series.get(_label_key(labels), 0)
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def inc(self, amount=1, **labels):
+        key = _label_key(labels)
+        with self._registry._lock:
+            self.series[key] = self.series.get(key, 0) + amount
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        key = _label_key(labels)
+        with self._registry._lock:
+            self.series[key] = value
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name, help_text, registry, buckets=None,
+                 state_cls=HistogramState):
+        super().__init__(name, help_text, registry)
+        self.buckets = tuple(buckets) if buckets is not None \
+            else HistogramState.BOUNDS
+        self.state_cls = state_cls
+
+    def observe(self, value, **labels):
+        key = _label_key(labels)
+        with self._registry._lock:
+            state = self.series.get(key)
+            if state is None:
+                state = self.series[key] = self.state_cls(self.buckets)
+            state.observe(value)
+
+    def state(self, **labels):
+        return self.series.get(_label_key(labels))
+
+    def value(self, **labels):
+        state = self.state(**labels)
+        return state.count if state is not None else 0
+
+
+class MetricsRegistry:
+    """Named metrics with deterministic snapshot/merge semantics."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}
+
+    def _get(self, cls, name, help_text, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, self, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}")
+            return metric
+
+    def counter(self, name, help_text=""):
+        return self._get(Counter, name, help_text)
+
+    def gauge(self, name, help_text=""):
+        return self._get(Gauge, name, help_text)
+
+    def histogram(self, name, help_text="", buckets=None,
+                  state_cls=HistogramState):
+        return self._get(Histogram, name, help_text, buckets=buckets,
+                         state_cls=state_cls)
+
+    def metrics(self):
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def value(self, name, **labels):
+        """Current value of one series (0 for unknown; tests)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        return metric.value(**labels)
+
+    def snapshot(self):
+        """Plain-JSON snapshot: sorted names, sorted label series."""
+        out = {}
+        for metric in self.metrics():
+            series = []
+            for labels, value in metric.labeled():
+                if isinstance(value, HistogramState):
+                    value = value.to_json()
+                series.append([labels, value])
+            entry = {"type": metric.kind, "help": metric.help,
+                     "series": series}
+            if metric.kind == "histogram":
+                entry["buckets"] = list(metric.buckets)
+            out[metric.name] = entry
+        return out
+
+    def merge_snapshot(self, snapshot):
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in.
+
+        Counter series sum, gauges take the maximum, histograms sum
+        per bucket — all commutative, so the merged result is the same
+        whatever order worker results arrive in.
+        """
+        for name, entry in sorted((snapshot or {}).items()):
+            kind = entry.get("type")
+            if kind == "counter":
+                metric = self.counter(name, entry.get("help", ""))
+                for labels, value in entry["series"]:
+                    metric.inc(value, **labels)
+            elif kind == "gauge":
+                metric = self.gauge(name, entry.get("help", ""))
+                for labels, value in entry["series"]:
+                    key = _label_key(labels)
+                    with self._lock:
+                        current = metric.series.get(key)
+                        if current is None or value > current:
+                            metric.series[key] = value
+            elif kind == "histogram":
+                metric = self.histogram(name, entry.get("help", ""),
+                                        buckets=entry.get("buckets"))
+                for labels, value in entry["series"]:
+                    key = _label_key(labels)
+                    with self._lock:
+                        state = metric.series.get(key)
+                        if state is None:
+                            state = metric.series[key] = \
+                                metric.state_cls(metric.buckets)
+                        state.merge(value)
+
+    def clear(self):
+        with self._lock:
+            self._metrics = {}
+
+
+# ---------------------------------------------------------------------------
+# Global state.
+
+class _ObsState:
+    __slots__ = ("enabled", "recorder", "registry")
+
+    def __init__(self):
+        self.enabled = False
+        self.recorder = Recorder()
+        self.registry = MetricsRegistry()
+
+
+_STATE = _ObsState()
+_STATE_LOCK = threading.Lock()
+
+
+def is_enabled():
+    return _STATE.enabled
+
+
+def enable(reset=False):
+    """Turn span recording on (metrics are always live).
+
+    *reset* clears the recorder and re-anchors its epoch — what the
+    CLI does at the start of a traced command so the trace starts at
+    t=0.
+    """
+    if reset:
+        _STATE.recorder.clear()
+    _STATE.enabled = True
+    return _STATE.recorder
+
+
+def disable():
+    _STATE.enabled = False
+
+
+def get_recorder():
+    return _STATE.recorder
+
+
+def get_registry():
+    return _STATE.registry
+
+
+class isolated:
+    """Context manager: fresh enabled registry+recorder, then restore.
+
+    Worker processes wrap one evaluation in this so their spans and
+    metrics accumulate in private buffers that serialize back to the
+    parent, without leaking into (or from) whatever global state the
+    worker process carries between tasks.
+    """
+
+    def __init__(self):
+        self._saved = None
+
+    def __enter__(self):
+        with _STATE_LOCK:
+            self._saved = (_STATE.enabled, _STATE.recorder,
+                           _STATE.registry)
+            _STATE.recorder = Recorder()
+            _STATE.registry = MetricsRegistry()
+            _STATE.enabled = True
+        return _STATE.registry, _STATE.recorder
+
+    def __exit__(self, exc_type, exc, tb):
+        with _STATE_LOCK:
+            (_STATE.enabled, _STATE.recorder,
+             _STATE.registry) = self._saved
+        return False
+
+
+def span(name, cat="pipeline", **args):
+    """Start a span (``with span("tdg.construct", benchmark="fft"):``).
+
+    Returns the shared no-op singleton while tracing is disabled, so
+    callers on hot paths pay one flag check.
+    """
+    if not _STATE.enabled:
+        return NULL_SPAN
+    return SpanHandle(name, cat, args, _STATE.recorder)
+
+
+def traced(name=None, cat="pipeline", **args):
+    """Decorator form of :func:`span`."""
+    def decorate(fn):
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*a, **kw):
+            if not _STATE.enabled:
+                return fn(*a, **kw)
+            with span(span_name, cat=cat, **args):
+                return fn(*a, **kw)
+        return wrapper
+    return decorate
+
+
+def counter(name, help_text=""):
+    """Counter in the current default registry."""
+    return _STATE.registry.counter(name, help_text)
+
+
+def gauge(name, help_text=""):
+    return _STATE.registry.gauge(name, help_text)
+
+
+def histogram(name, help_text="", buckets=None):
+    return _STATE.registry.histogram(name, help_text, buckets=buckets)
+
+
+def new_trace_id():
+    """Random 16-hex-char id correlating one request's spans."""
+    return uuid.uuid4().hex[:16]

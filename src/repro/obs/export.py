@@ -1,0 +1,255 @@
+"""Trace and metrics exporters.
+
+Two wire formats, both consumed by standard tooling:
+
+- **Chrome trace-event JSON** (``chrome://tracing`` / Perfetto):
+  pipeline spans become complete (``"ph": "X"``) events on one track
+  per process/thread; the modeled timeline (see
+  :mod:`repro.obs.timeline`) rides along as a separate process track
+  whose time axis is *modeled cycles*, not wall time.
+- **Prometheus text exposition** (version 0.0.4): counters, gauges and
+  cumulative-bucket histograms, scrapable from
+  ``GET /v1/metrics?format=prom``.
+
+Both emitters are deterministic given their inputs (sorted keys,
+sorted series), and both have validators used by tests and the CI
+smoke scripts.
+"""
+
+import json
+import re
+
+from repro.obs.core import get_recorder, get_registry
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events.
+
+def chrome_trace(recorder=None, extra_events=(), label="repro pipeline"):
+    """Chrome trace-event JSON object for a recorder's spans.
+
+    *extra_events* (already-shaped event dicts, e.g. the modeled
+    timeline) are appended verbatim.  Every emitted event carries the
+    required ``ph``/``ts``/``pid``/``tid`` keys.
+    """
+    recorder = recorder if recorder is not None else get_recorder()
+    events = []
+    seen_pids = {}
+    for record in recorder.records:
+        seen_pids.setdefault(record["pid"], len(seen_pids))
+    for pid, order in sorted(seen_pids.items(), key=lambda kv: kv[1]):
+        name = label if order == 0 else f"worker {pid}"
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": name}})
+        events.append({"ph": "M", "name": "process_sort_index",
+                       "pid": pid, "tid": 0, "ts": 0,
+                       "args": {"sort_index": order}})
+    for record in recorder.records:
+        events.append({
+            "name": record["name"],
+            "cat": record.get("cat", "pipeline"),
+            "ph": "X",
+            "ts": round(record["ts"], 3),
+            "dur": round(record.get("dur", 0.0), 3),
+            "pid": record["pid"],
+            "tid": record["tid"],
+            "args": record.get("args", {}),
+        })
+    events.extend(extra_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, recorder=None, extra_events=(),
+                       label="repro pipeline"):
+    """Serialize :func:`chrome_trace` to *path*; returns the path."""
+    payload = chrome_trace(recorder, extra_events=extra_events,
+                           label=label)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    return path
+
+
+#: Keys every trace event must carry (the CI smoke test checks these).
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(payload):
+    """Check a Chrome trace payload's shape; returns the event list.
+
+    Raises :class:`ValueError` on the first malformed event.  Accepts
+    the object form (``{"traceEvents": [...]}``) or a bare event list.
+    """
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("'traceEvents' must be a list")
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        raise ValueError("trace must be an object or event list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"event {index} missing {key!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"complete event {index} missing 'dur'")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event {index} has non-numeric ts")
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Span summaries (top-N table source).
+
+def span_summary(recorder=None, top=None):
+    """Aggregate spans by name: count, total/self/max time.
+
+    Self time subtracts the duration of direct children (matched via
+    the recorded parent id, within one process), which is what makes a
+    table of nested pipeline spans readable — ``sweep.benchmark`` does
+    not dwarf the stages it merely contains.  Rows are sorted by total
+    time, descending; *top* truncates.
+    """
+    recorder = recorder if recorder is not None else get_recorder()
+    records = recorder if isinstance(recorder, list) \
+        else recorder.records
+    child_time = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None:
+            key = (record["pid"], parent)
+            child_time[key] = child_time.get(key, 0.0) \
+                + record.get("dur", 0.0)
+    rows = {}
+    for record in records:
+        entry = rows.setdefault(record["name"], {
+            "span": record["name"], "count": 0,
+            "total_ms": 0.0, "self_ms": 0.0, "max_ms": 0.0})
+        dur_ms = record.get("dur", 0.0) / 1000.0
+        children_ms = child_time.get(
+            (record["pid"], record.get("id")), 0.0) / 1000.0
+        entry["count"] += 1
+        entry["total_ms"] += dur_ms
+        entry["self_ms"] += max(0.0, dur_ms - children_ms)
+        entry["max_ms"] = max(entry["max_ms"], dur_ms)
+    ordered = sorted(rows.values(),
+                     key=lambda r: (-r["total_ms"], r["span"]))
+    if top is not None:
+        ordered = ordered[:top]
+    for entry in ordered:
+        for key in ("total_ms", "self_ms", "max_ms"):
+            entry[key] = round(entry[key], 3)
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition.
+
+def _escape_label(value):
+    return str(value).replace("\\", r"\\").replace("\n", r"\n") \
+        .replace('"', r'\"')
+
+
+def _format_labels(labels, extra=None):
+    pairs = list(labels.items()) + list((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"'
+                    for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prom(registries=None):
+    """Prometheus text exposition for one or more registries."""
+    if registries is None:
+        registries = [get_registry()]
+    elif not isinstance(registries, (list, tuple)):
+        registries = [registries]
+    lines = []
+    seen = set()
+    for registry in registries:
+        for metric in registry.metrics():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if metric.kind == "histogram":
+                for labels, state in metric.labeled():
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets,
+                                            state.counts):
+                        cumulative += count
+                        lines.append(
+                            f"{metric.name}_bucket"
+                            f"{_format_labels(labels, {'le': bound})}"
+                            f" {cumulative}")
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(labels, {'le': '+Inf'})}"
+                        f" {state.count}")
+                    lines.append(f"{metric.name}_sum"
+                                 f"{_format_labels(labels)}"
+                                 f" {_format_value(state.sum)}")
+                    lines.append(f"{metric.name}_count"
+                                 f"{_format_labels(labels)}"
+                                 f" {state.count}")
+            else:
+                for labels, value in metric.labeled():
+                    lines.append(f"{metric.name}"
+                                 f"{_format_labels(labels)}"
+                                 f" {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: ``metric_name{labels} value`` (exposition format, no timestamps).
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" [-+]?(\d+\.?\d*([eE][-+]?\d+)?|\d*\.\d+([eE][-+]?\d+)?"
+    r"|Inf|NaN)$")
+
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def validate_prom_text(text):
+    """Validate Prometheus exposition syntax; returns sample count.
+
+    Checks every non-comment line against the sample grammar and every
+    ``# TYPE`` line against the known metric types.  Raises
+    :class:`ValueError` with the offending line on failure.  Used by
+    the CI smoke job that scrapes ``/v1/metrics?format=prom``.
+    """
+    samples = 0
+    typed = set()
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _VALID_TYPES:
+                raise ValueError(f"line {number}: bad TYPE: {line!r}")
+            if parts[2] in typed:
+                raise ValueError(
+                    f"line {number}: duplicate TYPE for {parts[2]}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        if not _SAMPLE_RE.match(line):
+            raise ValueError(f"line {number}: bad sample: {line!r}")
+        samples += 1
+    return samples

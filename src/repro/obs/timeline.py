@@ -1,0 +1,114 @@
+"""Modeled-timeline emission: Fig. 14 switching traces as trace events.
+
+The pipeline spans answer "where did the *sweep wall time* go"; this
+module answers the paper's question — "where did the *modeled cycles*
+go".  For one benchmark under one schedule it emits a Chrome
+trace-event track whose time axis is baseline cycles (1 cycle rendered
+as 1 µs): one complete event per dynamic region invocation saying
+which unit (gpp or a BSA) owns it, its modeled cycles, its per-region
+speedup and a stall class, plus counter tracks for the switching
+speedup series and the schedule's per-unit cycle/energy attribution
+(the paper's Fig. 13-style breakdown).
+
+Events land under a dedicated synthetic pid so Perfetto shows the
+modeled timeline as its own process track alongside the wall-clock
+pipeline spans.
+"""
+
+#: Synthetic process id for modeled-timeline tracks (must not collide
+#: with a real pid; Linux pids are < 2**22).
+MODELED_PID = 1 << 24
+
+
+def _stall_class(crit_histogram):
+    """Dominant critical-path edge kind of the baseline run.
+
+    Per-segment critical paths would need one engine re-run per
+    region; the whole-trace histogram is the honest cheap substitute
+    and still separates "fetch-bound" from "dependence-bound" kernels.
+    """
+    if not crit_histogram:
+        return "unknown"
+    ranked = sorted(
+        crit_histogram.items(),
+        key=lambda kv: (-kv[1], getattr(kv[0], "name", str(kv[0]))))
+    kind = ranked[0][0]
+    return getattr(kind, "name", str(kind)).lower()
+
+
+def modeled_timeline_events(evaluation, schedule, core_name=None,
+                            benchmark=None, pid=MODELED_PID):
+    """Chrome trace events for one schedule's modeled timeline.
+
+    Returns a list of event dicts ready to append to
+    :func:`repro.obs.export.chrome_trace`'s *extra_events*.  Always
+    emits at least one region event when the benchmark executed any
+    instructions (un-offloaded time is a ``gpp`` region).
+    """
+    from repro.exocore.timeline import switching_timeline
+
+    core_name = core_name or schedule.core_name
+    benchmark = benchmark or evaluation.name
+    segments, crit = switching_timeline(evaluation, schedule,
+                                        core_name,
+                                        with_attribution=True)
+    stall = _stall_class(crit)
+    subset = "/".join(schedule.bsa_subset) or "none"
+    track = f"modeled timeline: {benchmark} ({core_name}+{subset})"
+
+    events = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "ts": 0, "args": {"name": track}},
+        {"ph": "M", "name": "process_sort_index", "pid": pid,
+         "tid": 0, "ts": 0, "args": {"sort_index": 1000}},
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": 1,
+         "ts": 0, "args": {"name": "regions (1 cycle = 1us)"}},
+    ]
+    for segment in segments:
+        cycles = segment.end_cycle - segment.start_cycle
+        region = "/".join(segment.loop_key) if segment.loop_key \
+            else "(outside loops)"
+        events.append({
+            "name": segment.unit,
+            "cat": "modeled",
+            "ph": "X",
+            "ts": float(segment.start_cycle),
+            "dur": float(cycles),
+            "pid": pid,
+            "tid": 1,
+            "args": {
+                "benchmark": benchmark,
+                "region": region,
+                "unit": segment.unit,
+                "cycles": cycles,
+                "speedup": round(segment.speedup, 4),
+                "stall_class": "offloaded" if segment.unit != "gpp"
+                else stall,
+            },
+        })
+        # Fig. 14's y-axis: ExoCore speedup over time, as a counter
+        # series sampled at each switch point.
+        events.append({
+            "name": "exo_speedup",
+            "ph": "C",
+            "ts": float(segment.start_cycle),
+            "pid": pid,
+            "tid": 0,
+            "args": {"speedup": round(segment.speedup, 4)},
+        })
+
+    # Fig. 13-style attribution: which unit owns the scheduled cycles
+    # and energy (single-sample counter tracks).
+    for key, name in (("cycles_by", "cycles_by_unit"),
+                      ("energy_by", "energy_by_unit")):
+        attribution = getattr(schedule, key, None) or {}
+        events.append({
+            "name": name,
+            "ph": "C",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {unit: round(float(value), 3)
+                     for unit, value in sorted(attribution.items())},
+        })
+    return events

@@ -21,6 +21,7 @@ import signal
 import sys
 import time
 
+from repro.obs import new_trace_id, span
 from repro.service.coalesce import Coalescer
 from repro.service.http import (
     MAX_HEADER_BYTES, ParseError, Response, Router, handle_connection,
@@ -177,13 +178,13 @@ class EvaluationService:
         if self.cache is not None:
             payload = self.cache.load(key)
             if payload is not None:
-                self.metrics.cache_hits_total += 1
+                self.metrics.record_cache_hit()
                 return payload, "cache"
-            self.metrics.cache_misses_total += 1
+            self.metrics.record_cache_miss()
 
         future, leader = self.coalescer.claim(key)
         if not leader:
-            self.metrics.coalesced_total += 1
+            self.metrics.record_coalesced()
             payload = await self.coalescer.wait(future)
             return payload, "coalesced"
 
@@ -197,9 +198,8 @@ class EvaluationService:
         try:
             started = time.perf_counter()
             payload, _seconds = await self.pool.evaluate(task)
-            self.metrics.computations_total += 1
-            self.metrics.computation_seconds += \
-                time.perf_counter() - started
+            self.metrics.record_computation(
+                time.perf_counter() - started)
             if self.cache is not None:
                 self.cache.store(key, payload)
         except BaseException as exc:
@@ -227,7 +227,7 @@ class EvaluationService:
         try:
             payload, source = await self._evaluate_keyed(task, key)
         except QueueFull as exc:
-            self.metrics.rejected_total += 1
+            self.metrics.record_rejected()
             return Response.error(
                 429, str(exc),
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
@@ -259,11 +259,11 @@ class EvaluationService:
                 {"names": names, "scale": eval_params["scale"]},
                 total=len(names))
         except QueueFull as exc:
-            self.metrics.rejected_total += 1
+            self.metrics.record_rejected()
             return Response.error(
                 429, str(exc),
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
-        self.metrics.jobs_submitted_total += 1
+        self.metrics.record_job("submitted")
         items = [(name,) + self._task_and_key(name, eval_params)
                  for name in names]
         task = asyncio.create_task(self._run_sweep_job(job, items))
@@ -303,18 +303,18 @@ class EvaluationService:
             job.fail(f"cancelled during drain after "
                      f"{job.done}/{job.total} benchmarks "
                      "(completed shards are cached)")
-            self.metrics.jobs_failed_total += 1
+            self.metrics.record_job("failed")
             return
         except Exception as exc:
             job.fail(f"{type(exc).__name__}: {exc}")
-            self.metrics.jobs_failed_total += 1
+            self.metrics.record_job("failed")
             return
         job.finish({
             "benchmarks": {name: payloads[name]
                            for name in sorted(payloads)},
             "sources": sources,
         })
-        self.metrics.jobs_completed_total += 1
+        self.metrics.record_job("completed")
 
     async def handle_job(self, request, params):
         job = self.jobs.get(params["id"])
@@ -332,6 +332,14 @@ class EvaluationService:
         })
 
     async def handle_metrics(self, request, params):
+        if request.query.get("format", [""])[0] == "prom":
+            from repro.obs import get_registry, render_prom
+            # Service registry first, then the process-global pipeline
+            # registry (engine/cache counters) in one exposition.
+            body = render_prom([self.metrics.registry, get_registry()])
+            return Response(
+                status=200, body=body.encode("utf-8"),
+                content_type="text/plain; version=0.0.4")
         return Response.json(self.metrics.snapshot(
             queue_depth=self.slots.depth,
             queue_capacity=self.slots.capacity,
@@ -354,29 +362,39 @@ class EvaluationService:
         self._active_requests += 1
         started = time.perf_counter()
         endpoint = "unmatched"
+        # Honor a client-supplied correlation id so a caller can stitch
+        # its own traces to ours; mint one otherwise.  The id is echoed
+        # in the response and attached to the request span.
+        trace_id = request.headers.get("x-trace-id") or new_trace_id()
+        obs_span = span("service.request", cat="service",
+                        method=request.method, trace_id=trace_id)
         try:
-            handler, params, template = self.router.match(
-                request.method, request.path)
-            if handler is None and params is None:
-                response = Response.error(
-                    404, f"no route for {request.path}")
-            elif handler is None:
-                endpoint = template
-                response = Response.error(
-                    405, f"{request.method} not allowed "
-                         f"(try {', '.join(params)})",
-                    headers={"Allow": ", ".join(params)})
-            else:
-                endpoint = template
-                try:
-                    response = await handler(request, params)
-                except (BadRequest, ParseError) as exc:
-                    response = Response.error(400, str(exc))
-                except asyncio.CancelledError:
-                    raise
-                except Exception as exc:
+            with obs_span:
+                handler, params, template = self.router.match(
+                    request.method, request.path)
+                if handler is None and params is None:
                     response = Response.error(
-                        500, f"{type(exc).__name__}: {exc}")
+                        404, f"no route for {request.path}")
+                elif handler is None:
+                    endpoint = template
+                    response = Response.error(
+                        405, f"{request.method} not allowed "
+                             f"(try {', '.join(params)})",
+                        headers={"Allow": ", ".join(params)})
+                else:
+                    endpoint = template
+                    try:
+                        response = await handler(request, params)
+                    except (BadRequest, ParseError) as exc:
+                        response = Response.error(400, str(exc))
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:
+                        response = Response.error(
+                            500, f"{type(exc).__name__}: {exc}")
+                obs_span.set(endpoint=endpoint,
+                             status=response.status)
+                response.headers.setdefault("X-Trace-Id", trace_id)
             return response
         finally:
             self._active_requests -= 1
@@ -461,8 +479,15 @@ class EvaluationService:
 
 def serve(config=None):
     """Blocking entry point behind ``repro serve``; returns exit code."""
-    from repro.dse.report import render_table, service_metrics_table
+    from repro.dse.report import (
+        render_table, service_metrics_table, span_summary_table,
+    )
+    from repro.obs import enable, get_recorder
 
+    # A long-lived server always records spans: the shutdown summary
+    # reports where request time went, and per-request trace ids are
+    # only meaningful if the spans exist.
+    enable(reset=True)
     service = EvaluationService(config)
 
     async def _main():
@@ -481,6 +506,10 @@ def serve(config=None):
     rows = service_metrics_table(service.metrics.snapshot())
     if rows:
         print(render_table(rows), file=sys.stderr)
+    span_rows = span_summary_table(get_recorder(), top=10)
+    if span_rows:
+        print("[serve] slowest spans:", file=sys.stderr)
+        print(render_table(span_rows), file=sys.stderr)
     print("[serve] drained and shut down cleanly",
           file=sys.stderr, flush=True)
     return 0

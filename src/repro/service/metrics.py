@@ -4,49 +4,35 @@ Everything the ``/v1/metrics`` endpoint reports lives here.  The shape
 matters operationally: the acceptance check for request coalescing is
 "two identical concurrent POSTs bump ``computations_total`` once", so
 the computation counter must count *engine evaluations*, not requests.
+
+Since the :mod:`repro.obs` layer landed, :class:`Metrics` is a facade
+over a per-instance :class:`~repro.obs.MetricsRegistry`: the service
+counters are ordinary registry metrics (``service_*`` families), which
+is what lets ``/v1/metrics?format=prom`` render them in Prometheus
+text exposition alongside the pipeline's global registry.  The JSON
+``snapshot()`` shape and all read properties are unchanged.
 """
 
 import time
 
+from repro.obs import HistogramState, MetricsRegistry
 
-class LatencyHistogram:
+
+class LatencyHistogram(HistogramState):
     """Fixed-bucket latency histogram (seconds in, milliseconds out).
 
     Buckets follow the usual 1-2.5-5 decade ladder; quantiles are the
     upper bound of the bucket containing the target rank, which is the
-    standard (slightly pessimistic) fixed-bucket estimate.
+    standard (slightly pessimistic) fixed-bucket estimate.  The
+    bucketing/quantile machinery lives in the shared
+    :class:`repro.obs.HistogramState`; this subclass pins the bounds
+    and keeps the service's millisecond-flavoured ``snapshot()``.
     """
 
-    BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-              0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+    BOUNDS = HistogramState.BOUNDS
 
-    def __init__(self):
-        self.counts = [0] * (len(self.BOUNDS) + 1)
-        self.count = 0
-        self.sum = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds):
-        self.count += 1
-        self.sum += seconds
-        self.max = max(self.max, seconds)
-        for index, bound in enumerate(self.BOUNDS):
-            if seconds <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
-
-    def quantile(self, q):
-        """Estimated q-quantile in seconds (0 when empty)."""
-        if not self.count:
-            return 0.0
-        target = max(1, int(q * self.count + 0.999999))
-        cumulative = 0
-        for index, bound in enumerate(self.BOUNDS):
-            cumulative += self.counts[index]
-            if cumulative >= target:
-                return min(bound, self.max)
-        return self.max
+    def __init__(self, bounds=None):
+        super().__init__(bounds if bounds is not None else self.BOUNDS)
 
     def snapshot(self):
         return {
@@ -61,28 +47,104 @@ class LatencyHistogram:
 
 
 class Metrics:
-    """All service counters, aggregated per endpoint template."""
+    """All service counters, aggregated per endpoint template.
+
+    Backed by a private :class:`MetricsRegistry` (per service
+    instance — embedding several services in one process keeps their
+    numbers separate).  Writers use the ``record_*`` methods; readers
+    keep the original attribute names as properties.
+    """
 
     def __init__(self):
         self.started_at = time.time()
-        self.requests = {}          # (endpoint, status) -> count
-        self.latency = {}           # endpoint -> LatencyHistogram
-        self.computations_total = 0
-        self.computation_seconds = 0.0
-        self.coalesced_total = 0
-        self.cache_hits_total = 0
-        self.cache_misses_total = 0
-        self.rejected_total = 0     # 429s (evaluate slots + job slots)
-        self.jobs_submitted_total = 0
-        self.jobs_completed_total = 0
-        self.jobs_failed_total = 0
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "service_requests_total", "HTTP requests by endpoint/status")
+        self._latency = self.registry.histogram(
+            "service_request_seconds", "request latency by endpoint",
+            state_cls=LatencyHistogram)
+        self._computations = self.registry.counter(
+            "service_computations_total", "engine evaluations run")
+        self._computation_seconds = self.registry.counter(
+            "service_computation_seconds_total",
+            "wall time spent in engine evaluations")
+        self._coalesced = self.registry.counter(
+            "service_coalesced_total",
+            "requests that shared an in-flight computation")
+        self._cache_hits = self.registry.counter(
+            "service_cache_hits_total", "disk cache hits")
+        self._cache_misses = self.registry.counter(
+            "service_cache_misses_total", "disk cache misses")
+        self._rejected = self.registry.counter(
+            "service_rejected_total", "429 backpressure rejections")
+        self._jobs = self.registry.counter(
+            "service_jobs_total", "async sweep jobs by outcome")
+
+    # ------------------------------------------------------------------
+    # Writers.
 
     def observe_request(self, endpoint, status, seconds):
-        key = (endpoint, int(status))
-        self.requests[key] = self.requests.get(key, 0) + 1
-        if endpoint not in self.latency:
-            self.latency[endpoint] = LatencyHistogram()
-        self.latency[endpoint].observe(seconds)
+        self._requests.inc(endpoint=endpoint, status=str(int(status)))
+        self._latency.observe(seconds, endpoint=endpoint)
+
+    def record_computation(self, seconds):
+        self._computations.inc()
+        self._computation_seconds.inc(seconds)
+
+    def record_cache_hit(self):
+        self._cache_hits.inc()
+
+    def record_cache_miss(self):
+        self._cache_misses.inc()
+
+    def record_coalesced(self):
+        self._coalesced.inc()
+
+    def record_rejected(self):
+        self._rejected.inc()
+
+    def record_job(self, event):
+        """*event* is ``submitted``, ``completed`` or ``failed``."""
+        self._jobs.inc(event=event)
+
+    # ------------------------------------------------------------------
+    # Readers (original attribute names, now registry-backed).
+
+    @property
+    def computations_total(self):
+        return self._computations.value()
+
+    @property
+    def computation_seconds(self):
+        return self._computation_seconds.value()
+
+    @property
+    def coalesced_total(self):
+        return self._coalesced.value()
+
+    @property
+    def cache_hits_total(self):
+        return self._cache_hits.value()
+
+    @property
+    def cache_misses_total(self):
+        return self._cache_misses.value()
+
+    @property
+    def rejected_total(self):
+        return self._rejected.value()
+
+    @property
+    def jobs_submitted_total(self):
+        return self._jobs.value(event="submitted")
+
+    @property
+    def jobs_completed_total(self):
+        return self._jobs.value(event="completed")
+
+    @property
+    def jobs_failed_total(self):
+        return self._jobs.value(event="failed")
 
     @property
     def cache_hit_rate(self):
@@ -92,17 +154,19 @@ class Metrics:
     def snapshot(self, queue_depth=0, queue_capacity=0,
                  inflight_keys=0, jobs_active=0, draining=False):
         endpoints = {}
-        for (endpoint, status), count in sorted(self.requests.items()):
+        for labels, count in self._requests.labeled():
+            endpoint, status = labels["endpoint"], int(labels["status"])
             entry = endpoints.setdefault(
                 endpoint, {"requests": 0, "errors": 0, "by_status": {}})
             entry["requests"] += count
             if status >= 400:
                 entry["errors"] += count
             entry["by_status"][str(status)] = count
-        for endpoint, histogram in self.latency.items():
+        for labels, state in self._latency.labeled():
             endpoints.setdefault(
-                endpoint, {"requests": 0, "errors": 0, "by_status": {}}
-            )["latency"] = histogram.snapshot()
+                labels["endpoint"],
+                {"requests": 0, "errors": 0, "by_status": {}}
+            )["latency"] = state.snapshot()
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "draining": bool(draining),

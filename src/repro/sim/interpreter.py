@@ -278,6 +278,11 @@ class Interpreter:
 def run_program(program, memory=None, max_instructions=2_000_000,
                 caches=None, predictor=None):
     """Convenience wrapper: interpret *program* and return its Trace."""
+    from repro.obs import span
+
     interpreter = Interpreter(program, memory=memory, caches=caches,
                               predictor=predictor)
-    return interpreter.run(max_instructions=max_instructions)
+    with span("sim.interpret", program=program.name) as current:
+        trace = interpreter.run(max_instructions=max_instructions)
+        current.set(dynamic_instructions=len(trace))
+    return trace

@@ -66,10 +66,13 @@ class TDG:
 def construct_tdg(program, memory=None, max_instructions=2_000_000,
                   caches=None, predictor=None):
     """Run the simulator over *program* and build the original TDG."""
-    trace = run_program(program, memory=memory,
-                        max_instructions=max_instructions,
-                        caches=caches, predictor=predictor)
-    return TDG(program, trace, memory_image=memory)
+    from repro.obs import span
+
+    with span("tdg.construct", program=program.name):
+        trace = run_program(program, memory=memory,
+                            max_instructions=max_instructions,
+                            caches=caches, predictor=predictor)
+        return TDG(program, trace, memory_image=memory)
 
 
 def build_window_graph(stream, config):

@@ -23,6 +23,7 @@ O(n) — this is the paper's "windowed approach".
 import heapq
 
 from repro.isa.opcodes import Opcode, OpClass, is_store
+from repro.obs import counter, is_enabled, span
 from repro.tdg.mudg import EdgeKind
 
 #: Opcodes whose FU is unpipelined (occupies the unit for its latency).
@@ -137,7 +138,25 @@ class TimingEngine:
 
         Dependences whose producer seq is not in the stream (region
         live-ins) are treated as ready at *start_time*.
+
+        Every run counts in ``repro_engine_runs_total`` (the sweep's
+        dominant inner operation); with tracing enabled each run is
+        also a ``tdg.engine.run`` span.  The timing math itself lives
+        in :meth:`_run` so the disabled-tracing path pays nothing but
+        a flag check.
         """
+        counter("repro_engine_runs_total",
+                "timing-engine evaluations (streams timed)").inc()
+        if not is_enabled():
+            return self._run(stream, start_time)
+        with span("tdg.engine.run", core=self.config.name,
+                  accel=self.accel_resources is not None) as current:
+            result = self._run(stream, start_time)
+            current.set(cycles=result.cycles,
+                        instructions=result.instructions)
+            return result
+
+    def _run(self, stream, start_time=0):
         config = self.config
         width = config.width
         in_order = config.in_order

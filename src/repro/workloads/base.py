@@ -35,8 +35,12 @@ class Workload:
 
     def build(self, scale=None):
         """Build (program, memory) at *scale* (1.0 = default size)."""
-        builder = self.factory(scale if scale is not None else self.scale)
-        return builder.build()
+        from repro.obs import span
+        with span("workload.build", benchmark=self.name,
+                  scale=scale if scale is not None else self.scale):
+            builder = self.factory(
+                scale if scale is not None else self.scale)
+            return builder.build()
 
     def construct_tdg(self, scale=None, max_instructions=4_000_000):
         """Build, run the simulator, and return the TDG."""

@@ -1,0 +1,247 @@
+"""Unit tests for the observability layer itself.
+
+Covers the span tracer (nesting, threads, the disabled-path no-op),
+the metrics registry (typed families, deterministic snapshot/merge)
+and both exporters with their validators — all without touching the
+modeling pipeline.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry, Recorder, chrome_trace, disable, enable,
+    get_recorder, get_registry, is_enabled, isolated, new_trace_id,
+    render_prom, span, span_summary, traced, validate_chrome_trace,
+    validate_prom_text,
+)
+from repro.obs.core import NULL_SPAN
+
+
+@pytest.fixture
+def obs_enabled():
+    """Fresh enabled recorder for one test; disabled afterwards."""
+    recorder = enable(reset=True)
+    yield recorder
+    disable()
+    recorder.clear()
+
+
+class TestSpans:
+    def test_disabled_returns_shared_null_span(self):
+        disable()
+        assert span("anything") is NULL_SPAN
+        assert span("other", key="value") is NULL_SPAN
+        # The null span supports the full protocol, silently.
+        with span("nested") as handle:
+            assert handle.set(more=1) is handle
+        assert len(get_recorder()) == 0
+
+    def test_records_nesting_and_args(self, obs_enabled):
+        with span("outer", cat="test", benchmark="conv"):
+            with span("inner") as inner:
+                inner.set(count=3)
+        records = obs_enabled.records
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner_rec, outer_rec = records
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+        assert outer_rec["args"] == {"benchmark": "conv"}
+        assert inner_rec["args"] == {"count": 3}
+        assert outer_rec["dur"] >= inner_rec["dur"] >= 0.0
+
+    def test_exception_annotates_and_propagates(self, obs_enabled):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        (record,) = obs_enabled.records
+        assert record["args"]["error"] == "ValueError"
+
+    def test_threads_get_independent_parents(self, obs_enabled):
+        def worker():
+            with span("thread-span"):
+                pass
+
+        with span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {r["name"]: r for r in obs_enabled.records}
+        # The thread's span must NOT claim the main thread's span as
+        # parent: contextvars isolate the active-span state per thread.
+        assert by_name["thread-span"]["parent"] is None
+        assert by_name["main-span"]["parent"] is None
+
+    def test_traced_decorator(self, obs_enabled):
+        @traced("decorated.fn", cat="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (record,) = obs_enabled.records
+        assert record["name"] == "decorated.fn"
+        disable()
+        assert add(1, 1) == 2
+        assert len(obs_enabled.records) == 1
+
+    def test_absorb_aligns_worker_records(self):
+        recorder = Recorder()
+        worker_records = [
+            {"name": "a", "ts": 0.0, "dur": 10.0, "pid": 99, "tid": 1,
+             "id": 1, "parent": None, "args": {}},
+            {"name": "b", "ts": 10.0, "dur": 5.0, "pid": 99, "tid": 1,
+             "id": 2, "parent": None, "args": {}},
+        ]
+        recorder.absorb(worker_records, align_end_us=100.0)
+        latest_end = max(r["ts"] + r["dur"] for r in recorder.records)
+        assert latest_end == pytest.approx(100.0)
+        # Relative spacing within the worker is preserved.
+        a, b = recorder.records
+        assert b["ts"] - a["ts"] == pytest.approx(10.0)
+
+    def test_isolated_swaps_and_restores(self, obs_enabled):
+        outer_registry = get_registry()
+        with span("outside-before"):
+            pass
+        with isolated() as (registry, recorder):
+            assert is_enabled()
+            assert get_registry() is registry
+            assert registry is not outer_registry
+            with span("inside"):
+                pass
+            assert [r["name"] for r in recorder.records] == ["inside"]
+        assert get_registry() is outer_registry
+        assert [r["name"] for r in get_recorder().records] \
+            == ["outside-before"]
+
+    def test_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc(2, kind="x")
+        registry.counter("c").inc(kind="x")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.002)
+        assert registry.value("c", kind="x") == 3
+        assert registry.value("g") == 1.5
+        assert registry.value("h") == 1
+        assert registry.value("nope") == 0
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("name")
+
+    def test_merge_is_commutative(self):
+        def make(counter_value, gauge_value, observations):
+            registry = MetricsRegistry()
+            registry.counter("jobs").inc(counter_value, kind="a")
+            registry.gauge("depth").set(gauge_value)
+            hist = registry.histogram("lat")
+            for value in observations:
+                hist.observe(value)
+            return registry.snapshot()
+
+        snap_a = make(3, 2.0, [0.001, 0.3])
+        snap_b = make(5, 7.0, [0.02])
+
+        merged_ab = MetricsRegistry()
+        merged_ab.merge_snapshot(snap_a)
+        merged_ab.merge_snapshot(snap_b)
+        merged_ba = MetricsRegistry()
+        merged_ba.merge_snapshot(snap_b)
+        merged_ba.merge_snapshot(snap_a)
+
+        assert merged_ab.snapshot() == merged_ba.snapshot()
+        assert merged_ab.value("jobs", kind="a") == 8
+        assert merged_ab.value("depth") == 7.0   # gauges take the max
+        assert merged_ab.value("lat") == 3
+
+    def test_snapshot_roundtrips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4, source="cached")
+        registry.histogram("h").observe(1.25)
+        wire = json.loads(json.dumps(registry.snapshot()))
+        merged = MetricsRegistry()
+        merged.merge_snapshot(wire)
+        assert merged.value("c", source="cached") == 4
+        assert merged.histogram("h").state().sum \
+            == pytest.approx(1.25)
+
+
+class TestExporters:
+    def test_chrome_trace_validates(self, obs_enabled):
+        with span("outer"):
+            with span("inner"):
+                pass
+        payload = chrome_trace()
+        events = validate_chrome_trace(payload)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert payload["displayTimeUnit"] == "ms"
+        # Round-trip through JSON text stays valid.
+        validate_chrome_trace(json.loads(json.dumps(payload)))
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError, match="missing 'dur'"):
+            validate_chrome_trace(
+                [{"ph": "X", "ts": 0, "pid": 1, "tid": 1}])
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace([{"ph": "M", "ts": 0, "pid": 1}])
+        with pytest.raises(ValueError):
+            validate_chrome_trace("not a trace")
+
+    def test_span_summary_self_time(self, obs_enabled):
+        with span("parent"):
+            with span("child"):
+                pass
+        rows = {r["span"]: r for r in span_summary()}
+        assert rows["parent"]["count"] == 1
+        assert rows["parent"]["total_ms"] >= rows["child"]["total_ms"]
+        assert rows["parent"]["self_ms"] == pytest.approx(
+            rows["parent"]["total_ms"] - rows["child"]["total_ms"],
+            abs=0.01)
+
+    def test_prom_rendering_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "jobs").inc(
+            3, source="cached")
+        registry.gauge("repro_depth").set(2)
+        registry.histogram("repro_seconds", "latency").observe(0.004)
+        text = render_prom(registry)
+        samples = validate_prom_text(text)
+        assert 'repro_jobs_total{source="cached"} 3' in text
+        assert "# TYPE repro_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        # counter + gauge + (14 buckets + Inf + sum + count)
+        assert samples == 1 + 1 + len(registry.histogram(
+            "repro_seconds").buckets) + 3
+
+    def test_prom_validator_rejects_garbage(self):
+        with pytest.raises(ValueError, match="bad sample"):
+            validate_prom_text("this is not a metric line")
+        with pytest.raises(ValueError, match="bad TYPE"):
+            validate_prom_text("# TYPE foo weird")
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_prom_text(
+                "# TYPE a counter\na 1\n# TYPE a counter\n")
+
+    def test_prom_dedupes_across_registries(self):
+        first = MetricsRegistry()
+        first.counter("shared").inc(1)
+        second = MetricsRegistry()
+        second.counter("shared").inc(99)
+        second.counter("only_second").inc(2)
+        text = render_prom([first, second])
+        assert text.count("# TYPE shared counter") == 1
+        assert "shared 1" in text
+        assert "shared 99" not in text
+        assert "only_second 2" in text

@@ -1,0 +1,194 @@
+"""Observability woven through the pipeline: the do-no-harm tests.
+
+The obs layer's contract is that it *observes*: enabling spans must
+not change a single numeric result, serialized sweep artifacts must
+stay byte-identical, and parallel workers' metrics must merge to the
+same values on every run.  These tests pin each of those down, plus
+the surfacing ends (trace export with the modeled-timeline track, the
+Prometheus endpoint, per-request trace ids).
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.dse import dumps_sweep, run_sweep
+from repro.dse.sweep import evaluate_one_benchmark, record_to_json
+from repro.obs import (
+    MODELED_PID, disable, enable, get_recorder, get_registry,
+    is_enabled, span, validate_chrome_trace, validate_prom_text,
+)
+from repro.obs.core import NULL_SPAN
+
+#: Mirrors the sweep-determinism configuration (tiny but real).
+KW = dict(scale=0.1, max_invocations=2, with_amdahl=True)
+
+
+@pytest.fixture
+def obs_off_after():
+    """Restore the disabled default however a test toggles state."""
+    yield
+    disable()
+    get_recorder().clear()
+
+
+def _counters(snapshot):
+    """Deterministic slice of a registry snapshot: counters only.
+
+    Duration histograms legitimately differ between runs; every
+    counter must not.
+    """
+    return {name: entry for name, entry in snapshot.items()
+            if entry["type"] == "counter"}
+
+
+class TestDoNoHarm:
+    def test_disabled_spans_are_shared_noop(self, obs_off_after):
+        disable()
+        assert not is_enabled()
+        # Identity, not just equivalence: the hot paths allocate
+        # nothing while disabled.
+        assert span("tdg.engine.run") is span("exocore.evaluate") \
+            is NULL_SPAN
+
+    def test_enabling_obs_changes_no_numeric_result(self,
+                                                    obs_off_after):
+        disable()
+        plain = record_to_json(evaluate_one_benchmark("conv", **KW))
+        enable(reset=True)
+        observed = record_to_json(evaluate_one_benchmark("conv", **KW))
+        assert plain == observed
+        # And the observed run actually recorded the pipeline.
+        names = {r["name"] for r in get_recorder().records}
+        assert "tdg.engine.run" in names
+        assert "exocore.schedule.oracle" in names
+
+    def test_sweep_bytes_identical_with_obs(self, obs_off_after):
+        disable()
+        baseline = dumps_sweep(
+            run_sweep(names=["conv", "fft"], **KW))
+        enable(reset=True)
+        traced = dumps_sweep(
+            run_sweep(names=["conv", "fft"], **KW))
+        assert traced == baseline
+
+
+class TestWorkerMerge:
+    def test_parallel_counters_deterministic(self, obs_off_after):
+        def one_run():
+            enable(reset=True)
+            before = _counters(get_registry().snapshot())
+            sweep = run_sweep(names=["conv", "fft"], workers=2,
+                              **KW)
+            after = _counters(get_registry().snapshot())
+            spans = len(get_recorder())
+            disable()
+            return sweep, before, after, spans
+
+        sweep_a, before_a, after_a, spans_a = one_run()
+        sweep_b, before_b, after_b, spans_b = one_run()
+
+        def deltas(before, after):
+            out = {}
+            for name, entry in after.items():
+                prior = {tuple(sorted(labels.items())): value
+                         for labels, value
+                         in before.get(name, {}).get("series", [])}
+                out[name] = [
+                    [labels, value
+                     - prior.get(tuple(sorted(labels.items())), 0)]
+                    for labels, value in entry["series"]]
+            return out
+
+        # Two runs with 2 workers merge to identical counter values —
+        # shard completion order cannot perturb sums.
+        assert deltas(before_a, after_a) == deltas(before_b, after_b)
+        assert dumps_sweep(sweep_a) == dumps_sweep(sweep_b)
+        # Worker spans came back through the codec: far more spans
+        # than the parent alone produces for two benchmarks.
+        assert spans_a > 10 and spans_b > 10
+        delta = deltas(before_a, after_a)
+        assert delta["repro_sweep_benchmarks_total"] \
+            == [[{"source": "computed"}, 2]]
+        assert delta["repro_engine_runs_total"][0][1] > 0
+
+
+class TestTraceExport:
+    def test_cli_trace_out_has_pipeline_and_modeled_tracks(
+            self, tmp_path, obs_off_after):
+        from repro.cli import main
+        out = tmp_path / "trace.json"
+        assert main(["trace", "conv", "--scale", "0.2",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        events = validate_chrome_trace(payload)
+        pipeline = [e for e in events
+                    if e["ph"] == "X" and e["pid"] != MODELED_PID]
+        modeled = [e for e in events
+                   if e["ph"] == "X" and e["pid"] == MODELED_PID]
+        assert {e["name"] for e in pipeline} >= {
+            "workload.build", "sim.interpret", "tdg.construct",
+            "tdg.engine.run", "exocore.evaluate",
+            "exocore.schedule.oracle", "exocore.timeline"}
+        # At least one modeled-timeline region track rides along,
+        # carrying the Fig. 14 attribution args.
+        assert modeled, "no modeled-timeline events in the trace"
+        for event in modeled:
+            assert event["cat"] == "modeled"
+            assert {"region", "unit", "cycles",
+                    "stall_class"} <= set(event["args"])
+        # Some region is offloaded to a BSA at OOO2 with all BSAs.
+        units = {e["args"]["unit"] for e in modeled}
+        assert units - {"gpp"}, f"nothing offloaded: {units}"
+
+    def test_sweep_obs_out(self, tmp_path, obs_off_after):
+        from repro.cli import main
+        out = tmp_path / "sweep-trace.json"
+        assert main(["sweep", "conv", "--scale", "0.1", "--no-cache",
+                     "--obs-out", str(out), "--timings"]) == 0
+        events = validate_chrome_trace(json.loads(out.read_text()))
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "dse.sweep.run" in names
+        assert "dse.evaluate_benchmark" in names
+
+
+class TestServiceObs:
+    def test_prom_endpoint_and_trace_ids(self):
+        from tests.test_service import StubEvaluator, running_service
+
+        with running_service(evaluator=StubEvaluator()) as (service,
+                                                            client):
+            base = f"http://127.0.0.1:{service.port}"
+            client.evaluate("conv", scale=0.1)
+
+            # Every response echoes a 16-hex trace id; a supplied one
+            # is honored verbatim.
+            request = urllib.request.Request(f"{base}/v1/healthz")
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                minted = resp.headers["X-Trace-Id"]
+            assert minted and len(minted) == 16
+            request = urllib.request.Request(
+                f"{base}/v1/healthz",
+                headers={"X-Trace-Id": "cafe0123cafe0123"})
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                assert resp.headers["X-Trace-Id"] \
+                    == "cafe0123cafe0123"
+
+            # The Prometheus rendering is valid exposition text and
+            # carries the migrated service counters.
+            with urllib.request.urlopen(
+                    f"{base}/v1/metrics?format=prom",
+                    timeout=30) as resp:
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = resp.read().decode()
+            assert validate_prom_text(text) > 0
+            assert "service_computations_total 1" in text
+            assert "# TYPE service_requests_total counter" in text
+            assert "service_request_seconds_bucket" in text
+
+            # The JSON snapshot shape is unchanged by the migration.
+            snapshot = client.metrics()
+            assert snapshot["computations_total"] == 1
+            assert snapshot["cache"]["hit_rate"] == 0.0

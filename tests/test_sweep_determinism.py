@@ -74,19 +74,39 @@ class TestWorkerInvariance:
 class TestCacheInvariance:
     def test_warm_cache_identical_and_5x_faster(self, tmp_path,
                                                 serial_bytes):
+        from repro.obs import get_registry
+
+        def cache_counts():
+            registry = get_registry()
+            return (registry.value("repro_cache_hits_total"),
+                    registry.value("repro_cache_misses_total"),
+                    registry.value("repro_cache_stores_total"))
+
+        hits0, misses0, stores0 = cache_counts()
         started = time.perf_counter()
         cold = run_sweep(names=NAMES, cache_dir=tmp_path, **KW)
         cold_seconds = time.perf_counter() - started
+        hits1, misses1, stores1 = cache_counts()
 
         started = time.perf_counter()
         warm = run_sweep(names=NAMES, cache_dir=tmp_path, **KW)
         warm_seconds = time.perf_counter() - started
+        hits2, misses2, stores2 = cache_counts()
 
         assert dumps_sweep(cold) == serial_bytes
         assert dumps_sweep(warm) == serial_bytes
         assert cold.stats.misses == len(NAMES)
         assert warm.stats.hits == len(NAMES)
         assert warm.stats.misses == 0
+        # The obs cache counters record the same story: the cold run
+        # misses and stores every benchmark, the warm run hits every
+        # lookup without storing anything.
+        assert misses1 - misses0 == len(NAMES)
+        assert stores1 - stores0 == len(NAMES)
+        assert hits1 - hits0 == 0
+        assert hits2 - hits1 == len(NAMES)
+        assert misses2 - misses1 == 0
+        assert stores2 - stores1 == 0
         # Acceptance criterion: warm rerun >= 5x faster than cold.
         assert warm_seconds * 5 <= cold_seconds, (
             f"warm cache rerun not fast enough: "
