@@ -159,8 +159,8 @@ def _cmd_classify(args):
 def _cmd_sweep(args):
     from repro.dse import run_sweep, fig10_table, fig12_table
     from repro.dse.report import (
-        render_table, span_summary_table, sweep_stats_summary,
-        sweep_stats_table,
+        render_table, span_summary_table, sweep_failures_table,
+        sweep_stats_summary, sweep_stats_table,
     )
     from repro.dse.plots import frontier_plot
     names = args.names or None
@@ -168,20 +168,51 @@ def _cmd_sweep(args):
     if obs_on:
         from repro.obs import enable
         enable(reset=True)
+    if args.fault_spec:
+        from repro.resilience.faultinject import (
+            ENV_VAR, FaultSpecError, parse_fault_spec, reset_plan,
+        )
+        try:
+            parse_fault_spec(args.fault_spec)
+        except FaultSpecError as exc:
+            raise CLIError(f"--fault-spec: {exc}") from None
+        # Through the environment so pool workers inherit the spec.
+        os.environ[ENV_VAR] = args.fault_spec
+        reset_plan()
+    retry_policy = None
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+        retry_policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    if args.resume and args.no_cache:
+        raise CLIError("--resume needs the cache (drop --no-cache)")
     sweep = run_sweep(names=names, scale=args.scale,
                       with_amdahl=False,
                       workers=args.workers,
                       cache_dir=args.cache_dir,
                       use_cache=not args.no_cache,
+                      retry_policy=retry_policy,
+                      task_timeout=args.task_timeout,
+                      max_pool_restarts=args.max_pool_restarts,
+                      resume=args.resume,
                       progress=lambda n: print("  ...", n,
                                                file=sys.stderr))
     summary = sweep_stats_summary(sweep)
+    extras = ""
+    if summary["resumed"]:
+        extras += f", resumed={summary['resumed']}"
+    if summary["failures"]:
+        extras += f", failures={summary['failures']}"
     print(f"[sweep] {summary['benchmarks']} benchmarks in "
           f"{summary['total_seconds']:.1f}s "
           f"(workers={summary['workers']}, "
           f"cache hits={summary['cache_hits']}, "
-          f"misses={summary['cache_misses']}, "
+          f"misses={summary['cache_misses']}{extras}, "
           f"dir={summary['cache_dir']})", file=sys.stderr)
+    if summary["failures"]:
+        print("[sweep] failed benchmarks (artifact covers the "
+              "survivors):", file=sys.stderr)
+        print(render_table(sweep_failures_table(sweep)),
+              file=sys.stderr)
     if args.timings:
         print(render_table(sweep_stats_table(sweep)), file=sys.stderr)
         if obs_on:
@@ -210,7 +241,9 @@ def _cmd_serve(args):
         host=args.host, port=args.port, workers=args.workers,
         pool_mode=args.pool, max_pending=args.queue_depth,
         max_jobs=args.max_jobs, cache_dir=args.cache_dir,
-        use_cache=not args.no_cache, drain_timeout=args.drain_timeout)
+        use_cache=not args.no_cache, drain_timeout=args.drain_timeout,
+        task_timeout=args.task_timeout,
+        max_pool_restarts=args.max_pool_restarts)
     return serve(config)
 
 
@@ -273,6 +306,26 @@ def build_parser():
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro-dse)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run of this exact "
+                        "sweep from its checkpoint manifest "
+                        "(skips finished benchmarks, retries "
+                        "failures; needs the cache)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-benchmark wall-clock budget in seconds; "
+                        "a benchmark over budget is reported as a "
+                        "failure, the rest keep running (needs "
+                        "--workers > 1)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="retries per benchmark after a transient or "
+                        "pool failure (default 2)")
+    p.add_argument("--max-pool-restarts", type=int, default=2,
+                   help="worker-pool deaths tolerated before "
+                        "degrading to inline execution")
+    p.add_argument("--fault-spec", default=None,
+                   help="deterministic fault injection, e.g. "
+                        "'crash:task=NAME,flaky:task=NAME' "
+                        "(chaos testing; see docs/resilience.md)")
     p.add_argument("--timings", action="store_true",
                    help="print the per-benchmark timing table")
     p.add_argument("--obs", action="store_true",
@@ -308,6 +361,13 @@ def build_parser():
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    help="seconds to wait for in-flight work on "
                         "shutdown")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-evaluation wall-clock budget in "
+                        "seconds; over budget kills the worker and "
+                        "answers 504")
+    p.add_argument("--max-pool-restarts", type=int, default=2,
+                   help="worker-pool deaths tolerated before "
+                        "degrading to a single-worker pool")
     return parser
 
 

@@ -18,7 +18,8 @@ from repro.dse.cache import (
 )
 from repro.dse.report import (
     fig10_table, fig11_table, fig12_table, fig13_table, fig15_table,
-    geomean, sweep_stats_table, sweep_stats_summary,
+    geomean, sweep_failures_table, sweep_stats_table,
+    sweep_stats_summary,
 )
 from repro.dse.persist import (
     save_sweep, load_sweep, dumps_sweep, sweep_to_payload,
@@ -46,6 +47,7 @@ __all__ = [
     "fig13_table",
     "fig15_table",
     "geomean",
+    "sweep_failures_table",
     "sweep_stats_table",
     "sweep_stats_summary",
     "save_sweep",

@@ -11,8 +11,10 @@ any modeling code or configuration changes.
 
 Entries are written atomically (temp file + rename), so a sweep killed
 mid-run leaves only complete entries behind and the next invocation
-resumes from them.  Corrupt or truncated entries are discarded with a
-warning, never crashing the sweep.
+resumes from them.  Corrupt or truncated entries never crash the
+sweep: they are moved to ``<root>/quarantine/`` (capped at
+:data:`SweepCache.QUARANTINE_CAP` files, for post-mortem inspection)
+with a warning, and the benchmark is recomputed.
 """
 
 import hashlib
@@ -138,17 +140,26 @@ class SweepCache:
     directory listings short for large sweeps.
     """
 
+    #: Max files kept in ``<root>/quarantine/``; beyond the cap a
+    #: corrupt entry is deleted instead of preserved.
+    QUARANTINE_CAP = 32
+
     def __init__(self, root):
         self.root = Path(root)
 
     def path_for(self, key):
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self):
+        return self.root / "quarantine"
+
     def load(self, key):
         """Return the cached record payload, or None on miss.
 
-        A corrupt / truncated / unreadable entry is deleted and
-        reported as a warning (and counted in
+        A corrupt / truncated / unreadable entry is quarantined (moved
+        to ``<root>/quarantine/`` for inspection, capped — see
+        :meth:`_quarantine`) and reported as a warning (and counted in
         ``repro_cache_corrupt_total``); an entry written by a
         different cache format is a silent miss.  Every outcome is
         visible in the obs registry — the warm-cache tests assert the
@@ -171,15 +182,37 @@ class SweepCache:
                 return None
             except (ValueError, KeyError, OSError) as exc:
                 warnings.warn(
-                    f"discarding corrupt sweep cache entry {path}: "
+                    f"quarantining corrupt sweep cache entry {path}: "
                     f"{exc}", RuntimeWarning, stacklevel=2)
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                self._quarantine(path)
                 self._count("corrupt", current, "corrupt")
                 self._count("misses", current, "corrupt")
                 return None
+
+    def _quarantine(self, path):
+        """Move a corrupt entry aside instead of destroying evidence.
+
+        The quarantine directory is capped at ``QUARANTINE_CAP`` files
+        so a systematically corrupting environment cannot fill the
+        disk; once full (or if the move itself fails) the entry is
+        deleted like before.
+        """
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            existing = sum(1 for entry in self.quarantine_dir.iterdir()
+                           if entry.is_file())
+            if existing >= self.QUARANTINE_CAP:
+                raise OSError("quarantine full")
+            os.replace(path, target)
+            counter("repro_cache_quarantined_total",
+                    "corrupt cache entries preserved for "
+                    "inspection").inc()
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     @staticmethod
     def _count(event, current_span, outcome):
@@ -189,15 +222,23 @@ class SweepCache:
 
     def store(self, key, record):
         """Atomically persist one benchmark record under *key*."""
+        # Deterministic chaos hook: a ``torn:store=N`` fault truncates
+        # this write mid-blob, simulating the torn entry a power cut
+        # could leave behind (the quarantine path then recovers it).
+        from repro.resilience.faultinject import consume_torn_store
+
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": CACHE_FORMAT, "key": key, "record": record}
+        blob = json.dumps(payload, sort_keys=True)
+        if consume_torn_store():
+            blob = blob[:len(blob) // 2]
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
         try:
             with span("dse.cache.store", key=key[:12]):
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle, sort_keys=True)
+                    handle.write(blob)
                 os.replace(tmp, path)
             counter("repro_cache_stores_total",
                     "sweep cache entries written").inc()

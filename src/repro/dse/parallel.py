@@ -13,10 +13,16 @@ and metrics registry (:func:`repro.obs.isolated`) and ships the
 JSON snapshots back alongside the record, so the parent can merge
 worker metrics (commutative sums — shard order cannot perturb them)
 and splice worker spans onto its own trace timeline.
+
+Fault tolerance is delegated to :mod:`repro.resilience`: the pool is
+driven by a :class:`~repro.resilience.runner.ResilientRunner` (bounded
+retries, per-task wall-clock timeouts, ``BrokenProcessPool`` respawn,
+inline degradation), and the worker entry point consults the
+deterministic fault-injection harness so chaos tests can crash, hang
+or flake a specific task attempt.
 """
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 
 
 def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
@@ -27,9 +33,10 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
     the sweep's process pool, the on-disk cache's key material, and the
     evaluation service's warm workers.  Keeping construction in one
     place guarantees a task built by any of them hashes and evaluates
-    identically.  (The optional ``obs`` key is injected by
-    :func:`run_tasks`, never by callers — it shapes what the worker
-    reports, not what it computes.)
+    identically.  (The optional ``obs``, ``attempt`` and ``pooled``
+    keys are injected by :func:`run_tasks` / the resilient runner,
+    never by callers — they shape what the worker reports and which
+    injected faults fire, not what it computes.)
     """
     return {
         "name": name,
@@ -56,6 +63,12 @@ def evaluate_task(task):
     # Imported lazily: workers under the ``spawn`` start method import
     # this module before the rest of the package is loaded.
     from repro.dse.sweep import evaluate_one_benchmark, record_to_json
+    from repro.resilience.faultinject import apply_task_faults
+
+    # Deterministic chaos hook: crash/hang/flake this exact attempt
+    # when $REPRO_FAULT_SPEC says so; a no-op otherwise.
+    apply_task_faults(task["name"], attempt=task.get("attempt", 0),
+                      pooled=task.get("pooled", False))
 
     def evaluate():
         return evaluate_one_benchmark(
@@ -93,7 +106,9 @@ def evaluate_payload(task):
     return payload, elapsed
 
 
-def run_tasks(tasks, workers=1, on_result=None, obs=False):
+def run_tasks(tasks, workers=1, on_result=None, obs=False,
+              policy=None, timeout=None, max_pool_restarts=2,
+              on_failure=None):
     """Evaluate *tasks*, fanning out across *workers* processes.
 
     ``workers <= 1`` runs inline (no subprocesses, easier debugging).
@@ -108,27 +123,39 @@ def run_tasks(tasks, workers=1, on_result=None, obs=False):
     straight into the caller's enabled recorder/registry instead, so
     ``obs_payload`` is ``None`` for them.
 
-    Returns ``{name: payload}``; ordering is NOT significant — callers
-    must merge deterministically (the sweep sorts by name).
+    Failure handling (see :mod:`repro.resilience`): transient errors
+    retry under *policy* (default :class:`RetryPolicy`), tasks that
+    exceed *timeout* seconds are cancelled by killing their worker, a
+    dead pool is respawned up to *max_pool_restarts* times before
+    degrading to inline execution.  Terminal failures are delivered as
+    ``on_failure(TaskFailure)``; when *on_failure* is ``None`` the
+    first terminal failure re-raises (the historical fail-fast
+    contract).
+
+    Returns ``{name: payload}`` for the tasks that succeeded; ordering
+    is NOT significant — callers must merge deterministically (the
+    sweep sorts by name).
     """
+    from repro.resilience.runner import ResilientRunner, run_inline
+
     tasks = list(tasks)
     results = {}
+
+    def deliver(result):
+        name, payload, elapsed, obs_payload = result
+        results[name] = payload
+        if on_result is not None:
+            on_result(name, payload, elapsed, obs_payload)
+
     if workers <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            name, payload, elapsed, obs_payload = evaluate_task(task)
-            results[name] = payload
-            if on_result is not None:
-                on_result(name, payload, elapsed, obs_payload)
+        run_inline(evaluate_task, tasks, on_result=deliver,
+                   on_failure=on_failure, policy=policy)
         return results
     if obs:
         tasks = [dict(task, obs=True) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) \
-            as pool:
-        futures = {pool.submit(evaluate_task, task): task["name"]
-                   for task in tasks}
-        for future in as_completed(futures):
-            name, payload, elapsed, obs_payload = future.result()
-            results[name] = payload
-            if on_result is not None:
-                on_result(name, payload, elapsed, obs_payload)
+    runner = ResilientRunner(
+        evaluate_task, workers=min(workers, len(tasks)),
+        policy=policy, timeout=timeout,
+        max_pool_restarts=max_pool_restarts)
+    runner.run(tasks, on_result=deliver, on_failure=on_failure)
     return results

@@ -160,10 +160,28 @@ def sweep_stats_summary(sweep_or_stats):
         "benchmarks": len(stats.entries),
         "cache_hits": stats.hits,
         "cache_misses": stats.misses,
+        "resumed": getattr(stats, "resumed", 0),
+        "failures": len(getattr(stats, "failures", []) or []),
         "workers": stats.workers,
         "cache_dir": stats.cache_dir,
         "total_seconds": stats.total_seconds,
     }
+
+
+def sweep_failures_table(sweep_or_stats):
+    """One row per benchmark the sweep gave up on, for
+    :func:`render_table` — failure kind, error class and attempt
+    count, straight from :attr:`~repro.dse.sweep.SweepStats.failures`.
+    """
+    stats = getattr(sweep_or_stats, "stats", sweep_or_stats)
+    if stats is None:
+        return []
+    return [{"benchmark": failure["name"],
+             "kind": failure["kind"],
+             "error": failure["error"],
+             "attempts": failure["attempts"],
+             "seconds": failure["seconds"]}
+            for failure in getattr(stats, "failures", []) or []]
 
 
 def service_metrics_table(snapshot):

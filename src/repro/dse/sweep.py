@@ -164,9 +164,17 @@ def record_from_json(name, data, core_names=None, subsets=None):
 class SweepStats:
     """Structured progress record for one :func:`run_sweep` call.
 
-    One entry per benchmark: where its result came from (``computed``
-    or ``cached``) and how long it took, plus sweep-level counters the
-    report layer surfaces (:func:`repro.dse.report.sweep_stats_table`).
+    One entry per benchmark: where its result came from (``computed``,
+    ``cached``, or ``resumed`` — a cache hit vouched for by a
+    ``--resume`` checkpoint manifest) and how long it took, plus
+    sweep-level counters the report layer surfaces
+    (:func:`repro.dse.report.sweep_stats_table`).
+
+    ``failures`` lists the benchmarks that failed terminally (as
+    :meth:`repro.resilience.TaskFailure.to_json` dicts).  Failures
+    live here and in the obs registry only — never in the canonical
+    sweep artifact, whose bytes stay deterministic over the surviving
+    subset.
     """
 
     def __init__(self, workers=1, cache_dir=None):
@@ -174,6 +182,7 @@ class SweepStats:
         self.cache_dir = str(cache_dir) if cache_dir is not None \
             else None
         self.entries = []    # {"name", "source", "seconds"}
+        self.failures = []   # TaskFailure.to_json() dicts
 
     def add(self, name, source, seconds):
         self.entries.append(
@@ -188,22 +197,39 @@ class SweepStats:
                   "wall time to resolve one benchmark") \
             .observe(seconds, source=source)
 
+    def add_failure(self, failure):
+        """Record one terminal failure (``TaskFailure`` or its dict)."""
+        record = failure.to_json() if hasattr(failure, "to_json") \
+            else dict(failure)
+        self.failures.append(record)
+        counter("repro_sweep_failures_total",
+                "benchmarks a sweep gave up on after retries") \
+            .inc(kind=record.get("kind", "error"))
+
     @property
     def hits(self):
-        return sum(1 for e in self.entries if e["source"] == "cached")
+        return sum(1 for e in self.entries
+                   if e["source"] in ("cached", "resumed"))
 
     @property
     def misses(self):
         return sum(1 for e in self.entries if e["source"] == "computed")
 
     @property
+    def resumed(self):
+        return sum(1 for e in self.entries if e["source"] == "resumed")
+
+    @property
     def total_seconds(self):
         return sum(e["seconds"] for e in self.entries)
 
     def __repr__(self):
+        failed = f", {len(self.failures)} failed" if self.failures \
+            else ""
         return (f"<SweepStats {len(self.entries)} benchmarks: "
-                f"{self.hits} cached, {self.misses} computed, "
-                f"{self.total_seconds:.2f}s, workers={self.workers}>")
+                f"{self.hits} cached, {self.misses} computed"
+                f"{failed}, {self.total_seconds:.2f}s, "
+                f"workers={self.workers}>")
 
 
 class SweepResult:
@@ -262,7 +288,9 @@ def evaluate_one_benchmark(name, core_names=DSE_CORES,
 
 def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
               scale=1.0, max_invocations=8, with_amdahl=True,
-              progress=None, workers=1, cache_dir=None, use_cache=None):
+              progress=None, workers=1, cache_dir=None, use_cache=None,
+              retry_policy=None, task_timeout=None,
+              max_pool_restarts=2, resume=False):
     """Run the design-space exploration.
 
     Parameters
@@ -276,7 +304,8 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
         (needed by the Fig. 15 comparison).
     progress:
         Optional callback(name) per benchmark (called as each
-        benchmark resolves — from cache or computation).
+        benchmark resolves — from cache, computation, or terminal
+        failure).
     workers:
         Process-pool width for benchmark evaluation; ``1`` (default)
         runs inline.  Results are bit-identical for any value.
@@ -288,9 +317,30 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
         Enable the on-disk cache.  Defaults to ``True`` when
         *cache_dir* is given, else ``False`` (library calls stay
         side-effect-free unless asked).
+    retry_policy:
+        :class:`repro.resilience.RetryPolicy` for failed evaluations
+        (default: 3 attempts, exponential backoff, deterministic
+        jitter).
+    task_timeout:
+        Per-benchmark wall-clock budget in seconds; a task that
+        exceeds it has its worker killed and is recorded in
+        ``stats.failures`` instead of stalling the sweep.  ``None``
+        (default) disables the budget.  Only enforced with
+        ``workers > 1``.
+    max_pool_restarts:
+        Worker-pool deaths tolerated (respawn + re-dispatch) before
+        the sweep degrades to inline execution for the remainder.
+    resume:
+        Consult the checkpoint manifest of a previous (killed or
+        partial) run of this exact sweep; manifest-verified cache
+        hits are reported as ``resumed`` and prior failures are
+        retried.  Requires the cache.
 
     Returns a :class:`SweepResult` whose ``stats`` attribute records
-    per-benchmark timing and cache hit/miss counts.
+    per-benchmark timing, cache hit/miss counts and terminal
+    failures.  A failed benchmark never aborts the others: the
+    artifact covers the surviving subset deterministically and the
+    failures are listed in ``stats.failures``.
 
     When observability is enabled (:func:`repro.obs.enable`), the
     whole run is wrapped in a ``dse.sweep.run`` span and pool workers
@@ -302,16 +352,23 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
             names=names, core_names=core_names, subsets=subsets,
             scale=scale, max_invocations=max_invocations,
             with_amdahl=with_amdahl, progress=progress,
-            workers=workers, cache_dir=cache_dir, use_cache=use_cache)
+            workers=workers, cache_dir=cache_dir, use_cache=use_cache,
+            retry_policy=retry_policy, task_timeout=task_timeout,
+            max_pool_restarts=max_pool_restarts, resume=resume)
         current.set(benchmarks=len(sweep), cached=sweep.stats.hits,
-                    computed=sweep.stats.misses)
+                    computed=sweep.stats.misses,
+                    failed=len(sweep.stats.failures))
         return sweep
 
 
 def _run_sweep(names, core_names, subsets, scale, max_invocations,
-               with_amdahl, progress, workers, cache_dir, use_cache):
+               with_amdahl, progress, workers, cache_dir, use_cache,
+               retry_policy, task_timeout, max_pool_restarts, resume):
     from repro.dse.cache import SweepCache, cache_key, default_cache_dir
     from repro.dse.parallel import make_task, run_tasks
+    from repro.resilience.checkpoint import (
+        SweepCheckpoint, sweep_signature,
+    )
 
     names = list(names) if names is not None else sorted(WORKLOADS)
     names = list(dict.fromkeys(names))      # dedupe, keep given order
@@ -324,6 +381,18 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
     if use_cache:
         cache = SweepCache(cache_dir if cache_dir is not None
                            else default_cache_dir())
+    if resume and cache is None:
+        raise ValueError("resume requires the on-disk cache "
+                         "(pass cache_dir or use_cache=True)")
+
+    checkpoint = None
+    if cache is not None:
+        checkpoint = SweepCheckpoint(
+            cache.root,
+            sweep_signature(names, scale, core_names, subsets,
+                            max_invocations, with_amdahl))
+        if resume:
+            checkpoint.load()       # may be absent: cold resume is ok
 
     stats = SweepStats(workers=workers,
                        cache_dir=cache.root if cache else None)
@@ -341,7 +410,15 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
             payload = cache.load(keys[name])
             if payload is not None:
                 payloads[name] = payload
-                stats.add(name, "cached", time.perf_counter() - started)
+                # A manifest-listed completion whose key still matches
+                # is provably a leftover of the interrupted run.
+                source = "resumed" if (
+                    resume and checkpoint is not None
+                    and checkpoint.completed_key(name) == keys[name]
+                ) else "cached"
+                stats.add(name, source,
+                          time.perf_counter() - started)
+                checkpoint.mark_done(name, keys[name])
                 if progress is not None:
                     progress(name)
                 continue
@@ -355,6 +432,7 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
         # benchmark that finished, not just the ones before a barrier.
         if cache is not None:
             cache.store(keys[name], payload)
+            checkpoint.mark_done(name, keys[name])
         stats.add(name, "computed", elapsed)
         if obs_payload is not None:
             # Worker-side observability, shipped through the task
@@ -368,16 +446,31 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
         if progress is not None:
             progress(name)
 
+    def on_failure(failure):
+        # Contained, never fatal: the failure is carried in the stats
+        # (and checkpoint) while the rest of the sweep proceeds.
+        stats.add_failure(failure)
+        if checkpoint is not None:
+            checkpoint.mark_failed(failure.to_json())
+        if progress is not None:
+            progress(failure.name)
+
     run_tasks(pending, workers=workers, on_result=on_result,
-              obs=is_enabled())
+              obs=is_enabled(), policy=retry_policy,
+              timeout=task_timeout,
+              max_pool_restarts=max_pool_restarts,
+              on_failure=on_failure)
 
     # Deterministic merge: records enter the result in sorted-name
     # order, rebuilt from canonical payloads, so worker count, shard
     # completion order and cache state cannot perturb the output.
+    # Failed benchmarks are simply absent — the artifact over the
+    # surviving subset is byte-stable, with failures listed in stats.
     sweep = SweepResult(core_names, subsets)
     for name in sorted(payloads):
         sweep.add(record_from_json(name, payloads[name],
                                    core_names, subsets))
     stats.entries.sort(key=lambda e: e["name"])
+    stats.failures.sort(key=lambda f: f["name"])
     sweep.stats = stats
     return sweep

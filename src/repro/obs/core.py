@@ -330,6 +330,18 @@ class MetricsRegistry:
             return 0
         return metric.value(**labels)
 
+    def total(self, name):
+        """Sum of a counter across all its label series (0 unknown).
+
+        Chaos tests assert "some retries happened" without caring
+        whether they were labeled ``kind=error`` or ``kind=pool``.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        with self._lock:
+            return sum(metric.series.values())
+
     def snapshot(self):
         """Plain-JSON snapshot: sorted names, sorted label series."""
         out = {}

@@ -1,0 +1,42 @@
+"""repro.resilience — fault tolerance for the execution layer.
+
+Stdlib-only building blocks shared by the sweep engine
+(:mod:`repro.dse.parallel` / :mod:`repro.dse.sweep`) and the
+evaluation service (:mod:`repro.service.workers`):
+
+- :mod:`repro.resilience.policy` — :class:`RetryPolicy` (bounded
+  attempts, exponential backoff, deterministic jitter, retryable vs
+  fatal classification) and the :class:`TaskFailure` record.
+- :mod:`repro.resilience.runner` — :class:`ResilientRunner`, a
+  process-pool driver with per-task timeouts, ``BrokenProcessPool``
+  respawn/re-dispatch and inline degradation.
+- :mod:`repro.resilience.checkpoint` — atomic sweep progress
+  manifests behind ``repro sweep --resume``.
+- :mod:`repro.resilience.faultinject` — the deterministic
+  fault-injection harness (``$REPRO_FAULT_SPEC``) chaos tests and the
+  CI chaos job drive.
+
+See ``docs/resilience.md`` for the failure model and guarantees.
+"""
+
+from repro.resilience.policy import (
+    EvaluationTimeout, RetryPolicy, TaskFailure, TransientError,
+)
+from repro.resilience.runner import ResilientRunner, run_inline
+from repro.resilience.checkpoint import SweepCheckpoint, sweep_signature
+from repro.resilience.faultinject import (
+    FaultSpecError, parse_fault_spec,
+)
+
+__all__ = [
+    "EvaluationTimeout",
+    "RetryPolicy",
+    "TaskFailure",
+    "TransientError",
+    "ResilientRunner",
+    "run_inline",
+    "SweepCheckpoint",
+    "sweep_signature",
+    "FaultSpecError",
+    "parse_fault_spec",
+]

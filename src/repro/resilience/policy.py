@@ -1,0 +1,125 @@
+"""Retry policies, error classification, and failure records.
+
+The fault model of the execution layer (sweep pool + service pool)
+distinguishes three failure kinds:
+
+- ``error`` — the evaluation raised.  Retryable only if the exception
+  is classified transient (:class:`TransientError` by default);
+  modeling bugs must surface, not loop.
+- ``pool`` — the worker process died (OOM, SIGKILL, crash) and took
+  the ``ProcessPoolExecutor`` with it.  Always retryable: the victim
+  tasks were innocent bystanders more often than the culprit, and the
+  pool is respawned underneath them.
+- ``timeout`` — the task exceeded its wall-clock budget.  Not
+  retryable by default: a hang almost always hangs again, and the
+  budget is better spent on the rest of the sweep.
+
+Backoff is exponential with *deterministic* jitter: the jitter
+fraction is derived from a hash of ``(task key, attempt)``, so two
+runs of the same sweep retry on the same schedule — chaos tests stay
+reproducible, and no two tasks thundering-herd on the same instant.
+"""
+
+import hashlib
+
+
+class TransientError(Exception):
+    """An error the caller may retry (injected faults, flaky I/O)."""
+
+
+class EvaluationTimeout(Exception):
+    """A task exceeded its wall-clock budget and was cancelled."""
+
+
+class TaskFailure:
+    """Terminal failure record for one task (after all retries).
+
+    Carried in :class:`repro.dse.sweep.SweepStats` ``failures`` and in
+    service job payloads — never in the canonical sweep artifact, so a
+    partial sweep's bytes stay deterministic over the surviving
+    subset.
+    """
+
+    __slots__ = ("name", "kind", "error", "message", "attempts",
+                 "seconds")
+
+    def __init__(self, name, kind, error, message, attempts,
+                 seconds=0.0):
+        self.name = name
+        self.kind = kind            # "error" | "pool" | "timeout"
+        self.error = error          # exception class name
+        self.message = message
+        self.attempts = attempts
+        self.seconds = seconds
+
+    @classmethod
+    def from_exception(cls, name, exc, attempts, seconds=0.0,
+                       kind="error"):
+        return cls(name, kind, type(exc).__name__, str(exc),
+                   attempts, seconds)
+
+    def to_json(self):
+        return {"name": self.name, "kind": self.kind,
+                "error": self.error, "message": self.message,
+                "attempts": self.attempts,
+                "seconds": round(self.seconds, 6)}
+
+    def __repr__(self):
+        return (f"<TaskFailure {self.name} {self.kind} "
+                f"{self.error} after {self.attempts} attempt(s)>")
+
+
+def _jitter_fraction(key, attempt):
+    """Deterministic jitter in [0, 1) from the task key and attempt."""
+    digest = hashlib.sha256(f"{key}|{attempt}".encode()).hexdigest()
+    return int(digest[:8], 16) / float(0xFFFFFFFF)
+
+
+class RetryPolicy:
+    """Bounded attempts with exponential backoff + deterministic jitter.
+
+    *max_attempts* counts every try including the first; ``3`` means
+    one initial attempt plus up to two retries.  *retryable* is a
+    tuple of exception types retried on; *retryable_names* extends the
+    classification across pickle boundaries where only the type name
+    survives reliably.  *retry_timeouts* opts timed-out tasks into the
+    retry budget (off by default — hangs usually hang again).
+    """
+
+    def __init__(self, max_attempts=3, base_backoff=0.25,
+                 max_backoff=8.0, retryable=(TransientError,),
+                 retryable_names=("TransientError",),
+                 retry_timeouts=False):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.base_backoff = float(base_backoff)
+        self.max_backoff = float(max_backoff)
+        self.retryable = tuple(retryable)
+        self.retryable_names = frozenset(retryable_names)
+        self.retry_timeouts = bool(retry_timeouts)
+
+    def is_retryable(self, exc):
+        return (isinstance(exc, self.retryable)
+                or type(exc).__name__ in self.retryable_names)
+
+    def should_retry(self, exc, attempts, kind="error"):
+        """Whether a task that failed *attempts* times may try again."""
+        if attempts >= self.max_attempts:
+            return False
+        if kind == "pool":
+            return True
+        if kind == "timeout":
+            return self.retry_timeouts
+        return self.is_retryable(exc)
+
+    def delay(self, key, attempt):
+        """Seconds to wait before retry number *attempt* (1-based).
+
+        Deterministic: the same ``(key, attempt)`` always yields the
+        same delay, and distinct keys de-synchronize via the hash
+        jitter (factor in [0.5, 1.0)).
+        """
+        base = min(self.max_backoff,
+                   self.base_backoff * (2 ** max(0, attempt - 1)))
+        return base * (0.5 + 0.5 * _jitter_fraction(key, attempt))

@@ -1,0 +1,364 @@
+"""Fault-tolerant process-pool runner for embarrassingly parallel tasks.
+
+Wraps a :class:`~concurrent.futures.ProcessPoolExecutor` with the
+failure handling the bare pool lacks:
+
+- **Per-task wall-clock timeouts.**  A hung worker cannot be cancelled
+  cooperatively, so on expiry the pool's processes are terminated, the
+  expired task is recorded (or retried, per policy) and every innocent
+  in-flight task is re-dispatched on a fresh pool at no attempt cost.
+- **Pool-death recovery.**  ``BrokenProcessPool`` (worker OOM-killed,
+  segfaulted, ``os._exit``) respawns the pool and re-dispatches the
+  in-flight tasks, charging each one attempt — the culprit must not
+  crash-loop forever, and the policy's attempt budget bounds it.
+- **Graceful degradation.**  After ``max_pool_restarts`` genuine pool
+  deaths the runner stops trusting process isolation and runs the
+  remaining tasks inline in the parent (workers=1 semantics).  Inline
+  execution skips ``crash``/``hang`` fault injection and cannot
+  enforce timeouts, but it always terminates.
+- **Bounded retries** with deterministic backoff via
+  :class:`~repro.resilience.policy.RetryPolicy`.
+
+Submission is capped at the worker count so a submitted task is a
+*running* task — its wall clock starts at submission, not behind an
+executor queue.
+
+Every event is counted in the :mod:`repro.obs` registry
+(``repro_retries_total``, ``repro_task_timeouts_total``,
+``repro_pool_restarts_total``, ``repro_pool_inline_fallback_total``,
+``repro_task_failures_total``) so chaos tests and operators see
+exactly what the layer absorbed.
+"""
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.obs import counter, span
+from repro.resilience.policy import (
+    EvaluationTimeout, RetryPolicy, TaskFailure,
+)
+
+#: Floor for the event-loop wait slice — avoids busy-spinning while
+#: still checking deadlines promptly.
+_MIN_WAIT = 0.02
+
+
+class _TaskState:
+    """Book-keeping for one task across submissions and retries."""
+
+    __slots__ = ("task", "key", "attempts", "eligible_at",
+                 "started_at", "seconds")
+
+    def __init__(self, task, key):
+        self.task = task
+        self.key = key
+        self.attempts = 0           # tries already made
+        self.eligible_at = 0.0      # backoff gate (clock units)
+        self.started_at = 0.0
+        self.seconds = 0.0          # wall time burned on failed tries
+
+
+def _default_key(task):
+    return task["name"] if isinstance(task, dict) and "name" in task \
+        else repr(task)
+
+
+class ResilientRunner:
+    """Drive *worker_fn* over tasks with retries/timeouts/pool recovery.
+
+    *worker_fn* must be picklable (module-level) and is called with a
+    shallow copy of the task dict extended with ``attempt`` (0-based
+    try number) and ``pooled`` (True in pool workers, absent inline) —
+    the hooks fault injection keys on.  Results are delivered through
+    ``on_result(raw_return_value)`` in completion order; terminal
+    failures through ``on_failure(TaskFailure)``.  When *on_failure*
+    is ``None`` the first terminal failure re-raises instead (the
+    fail-fast behavior of a bare pool).
+    """
+
+    def __init__(self, worker_fn, workers=2, policy=None, timeout=None,
+                 max_pool_restarts=2, key_fn=_default_key,
+                 clock=time.monotonic, sleep=time.sleep):
+        self.worker_fn = worker_fn
+        self.workers = max(1, int(workers))
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.timeout = timeout
+        self.max_pool_restarts = max(0, int(max_pool_restarts))
+        self.key_fn = key_fn
+        self.clock = clock
+        self.sleep = sleep
+        self.pool_deaths = 0
+        self.inline = False
+        self._pool = None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self, kill=False):
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            # A hung worker never returns; terminating the processes
+            # is the only cancellation a ProcessPoolExecutor has.
+            # (_processes is private but stable across 3.10-3.13, and
+            # the stdlib offers no public kill switch.)
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                try:
+                    proc.terminate()
+                except (OSError, AttributeError):
+                    pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
+
+    # -- the drive loop ------------------------------------------------
+
+    def run(self, tasks, on_result=None, on_failure=None):
+        """Run every task to completion or terminal failure.
+
+        Returns the list of :class:`TaskFailure` records (empty on a
+        fully clean run).
+        """
+        states = [_TaskState(task, self.key_fn(task)) for task in tasks]
+        pending = deque(states)
+        waiting = []                # states in backoff
+        running = {}                # future -> state
+        failures = []
+
+        def fail(state, exc, kind):
+            failure = TaskFailure.from_exception(
+                state.key, exc, state.attempts, seconds=state.seconds,
+                kind=kind)
+            counter("repro_task_failures_total",
+                    "tasks that failed after all retries") \
+                .inc(kind=kind)
+            if on_failure is None:
+                self._discard_pool()
+                raise exc
+            failures.append(failure)
+            on_failure(failure)
+
+        def handle_error(state, exc, kind="error"):
+            state.attempts += 1
+            if self.policy.should_retry(exc, state.attempts, kind=kind):
+                counter("repro_retries_total",
+                        "task retries scheduled by the "
+                        "fault-tolerance layer").inc(kind=kind)
+                state.eligible_at = self.clock() + self.policy.delay(
+                    state.key, state.attempts)
+                waiting.append(state)
+            else:
+                fail(state, exc, kind)
+
+        def reap(future, state):
+            """Consume one settled future; False on pool breakage."""
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                state.seconds += self.clock() - state.started_at
+                handle_error(state, exc, kind="pool")
+                return False
+            except Exception as exc:
+                state.seconds += self.clock() - state.started_at
+                handle_error(state, exc)
+            else:
+                if on_result is not None:
+                    on_result(result)
+            return True
+
+        try:
+            while pending or waiting or running:
+                now = self.clock()
+                for state in [s for s in waiting
+                              if s.eligible_at <= now]:
+                    waiting.remove(state)
+                    pending.append(state)
+
+                if self.inline:
+                    self._step_inline(pending, waiting, handle_error,
+                                      on_result)
+                    continue
+
+                while pending and len(running) < self.workers:
+                    state = pending.popleft()
+                    pool = self._ensure_pool()
+                    task = dict(state.task, attempt=state.attempts,
+                                pooled=True)
+                    state.started_at = self.clock()
+                    future = pool.submit(self.worker_fn, task)
+                    running[future] = state
+
+                if not running:
+                    # Everything is gated on backoff.
+                    soonest = min(s.eligible_at for s in waiting)
+                    self.sleep(max(_MIN_WAIT, soonest - self.clock()))
+                    continue
+
+                done, _ = futures_wait(
+                    set(running), timeout=self._wait_slice(running,
+                                                           waiting),
+                    return_when=FIRST_COMPLETED)
+
+                broken = False
+                for future in done:
+                    state = running.pop(future)
+                    broken |= not reap(future, state)
+                if broken:
+                    self._on_pool_death(running, pending, reap)
+                    continue
+                if self.timeout is not None:
+                    self._expire_timeouts(running, pending,
+                                          handle_error)
+        finally:
+            self._discard_pool()
+        return failures
+
+    def _wait_slice(self, running, waiting):
+        candidates = []
+        now = self.clock()
+        if self.timeout is not None and running:
+            soonest = min(s.started_at for s in running.values()) \
+                + self.timeout
+            candidates.append(soonest - now + 0.01)
+        if waiting:
+            candidates.append(min(s.eligible_at for s in waiting)
+                              - now)
+        if not candidates:
+            return None                 # block until a completion
+        return max(_MIN_WAIT, min(candidates))
+
+    def _on_pool_death(self, running, pending, reap):
+        """One worker died and broke the pool: respawn or go inline.
+
+        In-flight siblings that finished before the breakage still
+        deliver their results; the rest are charged one attempt
+        (the culprit is unknowable) and re-dispatched.
+        """
+        self.pool_deaths += 1
+        counter("repro_pool_restarts_total",
+                "worker pools discarded and respawned") \
+            .inc(reason="death")
+        for future, state in list(running.items()):
+            del running[future]
+            if future.done():
+                reap(future, state)
+            else:
+                future.cancel()
+                state.attempts += 1
+                counter("repro_retries_total",
+                        "task retries scheduled by the "
+                        "fault-tolerance layer").inc(kind="pool")
+                pending.append(state)
+        self._discard_pool()
+        if self.pool_deaths > self.max_pool_restarts \
+                and not self.inline:
+            self.inline = True
+            counter("repro_pool_inline_fallback_total",
+                    "pools abandoned for inline execution").inc()
+
+    def _expire_timeouts(self, running, pending, handle_error):
+        now = self.clock()
+        expired = [state for state in running.values()
+                   if now - state.started_at > self.timeout]
+        if not expired:
+            return
+        # The hung workers can only be cancelled by killing the pool;
+        # innocent in-flight tasks are re-dispatched free of charge.
+        counter("repro_task_timeouts_total",
+                "tasks cancelled at their wall-clock budget") \
+            .inc(len(expired))
+        counter("repro_pool_restarts_total",
+                "worker pools discarded and respawned") \
+            .inc(reason="timeout")
+        self._discard_pool(kill=True)
+        for future, state in list(running.items()):
+            del running[future]
+            future.cancel()
+            if state in expired:
+                state.seconds += now - state.started_at
+                handle_error(
+                    state,
+                    EvaluationTimeout(
+                        f"{state.key} exceeded {self.timeout}s "
+                        "wall clock (worker killed)"),
+                    kind="timeout")
+            else:
+                pending.append(state)
+
+    def _step_inline(self, pending, waiting, handle_error, on_result):
+        """Degraded mode: one task at a time in the parent process."""
+        if not pending:
+            state = min(waiting, key=lambda s: s.eligible_at)
+            self.sleep(max(0.0, state.eligible_at - self.clock()))
+            return
+        state = pending.popleft()
+        state.started_at = self.clock()
+        with span("resilience.inline_task", key=state.key,
+                  attempt=state.attempts):
+            try:
+                # No "pooled" flag: crash/hang injection must not take
+                # the parent down, and timeouts are unenforceable here.
+                result = self.worker_fn(
+                    dict(state.task, attempt=state.attempts))
+            except Exception as exc:
+                state.seconds += self.clock() - state.started_at
+                handle_error(state, exc)
+            else:
+                if on_result is not None:
+                    on_result(result)
+
+
+def run_inline(worker_fn, tasks, on_result=None, on_failure=None,
+               policy=None, key_fn=_default_key, clock=time.monotonic,
+               sleep=time.sleep):
+    """Serial execution with the same retry/failure contract.
+
+    The ``workers <= 1`` path of :func:`repro.dse.parallel.run_tasks`:
+    no subprocesses, no timeouts, but transient errors still retry and
+    terminal failures are still contained (or re-raised when
+    *on_failure* is ``None``).  Returns the failure list.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    failures = []
+    for task in tasks:
+        key = key_fn(task)
+        attempts = 0
+        seconds = 0.0
+        while True:
+            started = clock()
+            try:
+                result = worker_fn(dict(task, attempt=attempts))
+            except Exception as exc:
+                seconds += clock() - started
+                attempts += 1
+                if policy.should_retry(exc, attempts):
+                    counter("repro_retries_total",
+                            "task retries scheduled by the "
+                            "fault-tolerance layer").inc(kind="error")
+                    sleep(policy.delay(key, attempts))
+                    continue
+                counter("repro_task_failures_total",
+                        "tasks that failed after all retries") \
+                    .inc(kind="error")
+                if on_failure is None:
+                    raise
+                failure = TaskFailure.from_exception(
+                    key, exc, attempts, seconds=seconds)
+                failures.append(failure)
+                on_failure(failure)
+                break
+            else:
+                if on_result is not None:
+                    on_result(result)
+                break
+    return failures

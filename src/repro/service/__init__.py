@@ -20,10 +20,13 @@ Module map
 """
 
 from repro.service.app import EvaluationService, ServiceConfig, serve
-from repro.service.client import JobFailed, ServiceClient, ServiceError
+from repro.service.client import (
+    CircuitOpen, JobFailed, ServiceClient, ServiceError,
+)
 from repro.service.jobs import QueueFull
 
 __all__ = [
     "EvaluationService", "ServiceConfig", "serve",
-    "ServiceClient", "ServiceError", "JobFailed", "QueueFull",
+    "ServiceClient", "ServiceError", "JobFailed", "CircuitOpen",
+    "QueueFull",
 ]

@@ -14,6 +14,10 @@
 - **graceful drain** — SIGTERM stops accepting work, lets in-flight
   requests and jobs finish (bounded by ``drain_timeout``), then shuts
   the pool down.
+- **fault tolerance** — a crashed worker respawns the pool and the
+  evaluation retries; a hung evaluation is killed at ``task_timeout``
+  and answered 504; sweep jobs contain per-benchmark failures in
+  ``job.failures`` instead of aborting (see ``docs/resilience.md``).
 """
 
 import asyncio
@@ -22,6 +26,7 @@ import sys
 import time
 
 from repro.obs import new_trace_id, span
+from repro.resilience.policy import EvaluationTimeout
 from repro.service.coalesce import Coalescer
 from repro.service.http import (
     MAX_HEADER_BYTES, ParseError, Response, Router, handle_connection,
@@ -39,7 +44,8 @@ class ServiceConfig:
 
     def __init__(self, host="127.0.0.1", port=8765, workers=2,
                  pool_mode="process", max_pending=8, max_jobs=4,
-                 cache_dir=None, use_cache=True, drain_timeout=30.0):
+                 cache_dir=None, use_cache=True, drain_timeout=30.0,
+                 task_timeout=None, max_pool_restarts=2):
         self.host = host
         self.port = port
         self.workers = workers
@@ -49,6 +55,8 @@ class ServiceConfig:
         self.cache_dir = cache_dir
         self.use_cache = use_cache
         self.drain_timeout = drain_timeout
+        self.task_timeout = task_timeout
+        self.max_pool_restarts = max_pool_restarts
 
 
 class BadRequest(Exception):
@@ -131,7 +139,9 @@ class EvaluationService:
         self.coalescer = Coalescer()
         self.pool = EvaluationPool(
             workers=self.config.workers, mode=self.config.pool_mode,
-            evaluator=evaluator)
+            evaluator=evaluator,
+            task_timeout=self.config.task_timeout,
+            max_pool_restarts=self.config.max_pool_restarts)
         self.cache = None
         if self.config.use_cache:
             from repro.dse.cache import SweepCache, default_cache_dir
@@ -231,6 +241,8 @@ class EvaluationService:
             return Response.error(
                 429, str(exc),
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        except EvaluationTimeout as exc:
+            return Response.error(504, str(exc))
         return Response.json({
             "benchmark": name,
             "key": key,
@@ -283,6 +295,12 @@ class EvaluationService:
         how many actually occupy workers at once.  Each completed
         benchmark is persisted through the cache by the evaluate path
         itself, so a job cut off mid-drain leaves warm shards behind.
+
+        Failures are contained per benchmark: one crashed or timed-out
+        evaluation lands in ``job.failures`` (visible via ``GET
+        /v1/jobs/{id}``) while its siblings keep running.  The job
+        only reports ``failed`` when cancelled or when *every*
+        benchmark failed.
         """
         from repro.service.jobs import JOB_RUNNING
 
@@ -291,8 +309,17 @@ class EvaluationService:
         sources = {"cache": 0, "coalesced": 0, "computed": 0}
 
         async def one(name, task, key):
-            payload, source = await self._evaluate_keyed(
-                task, key, blocking=True)
+            try:
+                payload, source = await self._evaluate_keyed(
+                    task, key, blocking=True)
+            except asyncio.CancelledError:
+                raise
+            except EvaluationTimeout as exc:
+                job.record_failure(name, exc, kind="timeout")
+                return
+            except Exception as exc:
+                job.record_failure(name, exc)
+                return
             payloads[name] = payload
             sources[source] += 1
             job.done += 1
@@ -305,14 +332,16 @@ class EvaluationService:
                      "(completed shards are cached)")
             self.metrics.record_job("failed")
             return
-        except Exception as exc:
-            job.fail(f"{type(exc).__name__}: {exc}")
+        if not payloads and job.failures:
+            job.fail(f"all {job.total} benchmarks failed "
+                     "(see failures)")
             self.metrics.record_job("failed")
             return
         job.finish({
             "benchmarks": {name: payloads[name]
                            for name in sorted(payloads)},
             "sources": sources,
+            "failed": len(job.failures),
         })
         self.metrics.record_job("completed")
 
@@ -329,6 +358,12 @@ class EvaluationService:
                 time.time() - self.metrics.started_at, 3),
             "queue_depth": self.slots.depth,
             "active_jobs": self.jobs.active_count,
+            "pool": {
+                "workers": self.pool.workers,
+                "mode": self.pool.mode,
+                "restarts": self.pool.restarts,
+                "degraded": self.pool.degraded,
+            },
         })
 
     async def handle_metrics(self, request, params):

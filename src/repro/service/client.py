@@ -1,10 +1,23 @@
 """Python client for the evaluation service.
 
 Stdlib-only (``urllib``), synchronous, with the retry discipline the
-server's backpressure contract expects: 429/503 responses are retried
-with exponential backoff, honoring ``Retry-After`` when the server
-sends one; connection errors and timeouts retry the same way.  4xx
-client errors are never retried.
+server's backpressure contract expects:
+
+- 429/503 responses retry with exponential backoff; when the server
+  sends ``Retry-After`` the client honors it **exactly** (the server
+  knows its drain/queue state better than any client-side curve).
+- Connection errors and timeouts retry on the backoff curve, bounded
+  by a wall-clock **retry budget** (``retry_budget`` seconds across
+  one logical request) in addition to the attempt count.
+- Repeated transport failures open a **circuit breaker**: for
+  ``circuit_reset`` seconds every call fails fast with
+  :class:`CircuitOpen` instead of hammering a dead server; the first
+  call after the window is the half-open probe that closes the
+  circuit on success.
+- 4xx client errors are never retried.
+
+The clock and sleep functions are injectable so the retry schedule is
+unit-testable against a fake clock (no real sleeping in tests).
 
 >>> client = ServiceClient("http://127.0.0.1:8765")
 >>> result = client.evaluate("conv", scale=0.5)
@@ -35,44 +48,99 @@ class JobFailed(ServiceError):
     """A sweep job finished in the ``failed`` state."""
 
 
+class CircuitOpen(ServiceError):
+    """Failing fast: the server has been unreachable too many times."""
+
+
 class ServiceClient:
-    """Thin HTTP client with retry/backoff/timeout."""
+    """Thin HTTP client with retry/backoff/budget/circuit-breaker.
+
+    *retries* caps attempts per request; *retry_budget* caps the total
+    seconds spent sleeping between them (``None`` = attempts only).
+    *circuit_threshold* consecutive transport failures open the
+    circuit for *circuit_reset* seconds.  *clock*/*sleep* exist for
+    tests (fake time).
+    """
 
     def __init__(self, base_url, timeout=120.0, retries=4,
-                 backoff=0.25, max_backoff=4.0):
+                 backoff=0.25, max_backoff=4.0, retry_budget=None,
+                 circuit_threshold=8, circuit_reset=30.0,
+                 clock=time.monotonic, sleep=time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self.retry_budget = retry_budget
+        self.circuit_threshold = circuit_threshold
+        self.circuit_reset = circuit_reset
+        self.clock = clock
+        self.sleep = sleep
+        self._consecutive_failures = 0
+        self._circuit_open_until = None
+
+    # -- circuit breaker -----------------------------------------------
+
+    @property
+    def circuit_open(self):
+        """True while calls would fail fast (before the probe window)."""
+        return self._circuit_open_until is not None \
+            and self.clock() < self._circuit_open_until
+
+    def _check_circuit(self, url):
+        if self.circuit_open:
+            remaining = self._circuit_open_until - self.clock()
+            raise CircuitOpen(
+                f"circuit open for {url} "
+                f"({self._consecutive_failures} consecutive transport "
+                f"failures; retry in {remaining:.1f}s)")
+
+    def _record_transport_failure(self):
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.circuit_threshold:
+            self._circuit_open_until = self.clock() + self.circuit_reset
+
+    def _record_success(self):
+        self._consecutive_failures = 0
+        self._circuit_open_until = None
 
     # -- transport -----------------------------------------------------
 
-    def _sleep_before_retry(self, attempt, retry_after=None):
-        delay = min(self.max_backoff, self.backoff * (2 ** attempt))
+    def _retry_delay(self, attempt, retry_after=None):
+        """Seconds to wait before retry *attempt* (0-based).
+
+        A parseable ``Retry-After`` is authoritative — the server is
+        telling us when capacity frees up; substituting a larger
+        client-side backoff would just waste that slot.
+        """
         if retry_after is not None:
             try:
-                delay = max(delay, float(retry_after))
+                return max(0.0, float(retry_after))
             except ValueError:
                 pass
-        time.sleep(delay)
+        return min(self.max_backoff, self.backoff * (2 ** attempt))
 
     def _request(self, method, path, body=None):
         url = self.base_url + path
+        self._check_circuit(url)
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         last_error = None
+        budget_left = self.retry_budget
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(
                 url, data=data, headers=headers, method=method)
             try:
                 with urllib.request.urlopen(
                         request, timeout=self.timeout) as response:
+                    self._record_success()
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
+                # Any HTTP response means the transport works.
+                self._record_success()
                 payload = {}
                 try:
                     payload = json.loads(exc.read().decode("utf-8"))
@@ -80,19 +148,28 @@ class ServiceClient:
                     pass
                 if exc.code in RETRYABLE_STATUSES \
                         and attempt < self.retries:
-                    last_error = exc
-                    self._sleep_before_retry(
+                    delay = self._retry_delay(
                         attempt, exc.headers.get("Retry-After"))
-                    continue
+                    if budget_left is None or delay <= budget_left:
+                        if budget_left is not None:
+                            budget_left -= delay
+                        last_error = exc
+                        self.sleep(delay)
+                        continue
                 raise ServiceError(
                     payload.get("error", f"HTTP {exc.code}"),
                     status=exc.code, payload=payload) from exc
             except (urllib.error.URLError, socket.timeout,
                     ConnectionError, TimeoutError) as exc:
-                if attempt < self.retries:
-                    last_error = exc
-                    self._sleep_before_retry(attempt)
-                    continue
+                self._record_transport_failure()
+                if attempt < self.retries and not self.circuit_open:
+                    delay = self._retry_delay(attempt)
+                    if budget_left is None or delay <= budget_left:
+                        if budget_left is not None:
+                            budget_left -= delay
+                        last_error = exc
+                        self.sleep(delay)
+                        continue
                 raise ServiceError(
                     f"cannot reach {url}: {exc}") from exc
         raise ServiceError(           # pragma: no cover — loop always
@@ -129,7 +206,7 @@ class ServiceClient:
         Raises :class:`JobFailed` on a failed job and
         :class:`ServiceError` on timeout.
         """
-        deadline = time.monotonic() + timeout
+        deadline = self.clock() + timeout
         while True:
             job = self.job(job_id)
             if job["status"] == "done":
@@ -137,11 +214,11 @@ class ServiceClient:
             if job["status"] == "failed":
                 raise JobFailed(
                     job.get("error", "job failed"), payload=job)
-            if time.monotonic() >= deadline:
+            if self.clock() >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {job['status']} after "
                     f"{timeout}s", payload=job)
-            time.sleep(poll_interval)
+            self.sleep(poll_interval)
 
     def healthz(self):
         return self._request("GET", "/v1/healthz")

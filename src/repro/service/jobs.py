@@ -74,6 +74,7 @@ class Job:
         self.done = 0
         self.result = None
         self.error = None
+        self.failures = []
 
     @property
     def active(self):
@@ -89,6 +90,23 @@ class Job:
         self.status = JOB_FAILED
         self.finished_at = time.time()
 
+    def record_failure(self, name, error, attempts=1, kind="error"):
+        """Record one contained per-item failure (job keeps running).
+
+        The structured entry — task name, error class, message,
+        attempt count — is what ``GET /v1/jobs/{id}`` surfaces, so a
+        client can see exactly which benchmarks a partial sweep lost
+        and why without grepping server logs.
+        """
+        self.failures.append({
+            "name": name,
+            "kind": kind,
+            "error": type(error).__name__,
+            "message": str(error),
+            "attempts": attempts,
+        })
+        self.done += 1
+
     def to_json(self, include_result=True):
         payload = {
             "job_id": self.id,
@@ -99,6 +117,8 @@ class Job:
             "params": self.params,
             "progress": {"done": self.done, "total": self.total},
         }
+        if self.failures:
+            payload["failures"] = list(self.failures)
         if self.error is not None:
             payload["error"] = self.error
         if include_result and self.status == JOB_DONE:

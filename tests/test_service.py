@@ -118,6 +118,9 @@ class TestEndpoints:
             health = client.healthz()
             assert health["status"] == "ok"
             assert health["queue_depth"] == 0
+            assert health["pool"]["mode"] == "thread"
+            assert health["pool"]["restarts"] == 0
+            assert health["pool"]["degraded"] is False
             suite = client.benchmarks()
             assert "conv" in suite and "181.mcf" in suite
             assert suite["conv"]["category"] == "regular"
@@ -339,6 +342,44 @@ class TestSweepJobs:
                 {"names": ["conv", "bogus"]})
             assert status == 400
             assert "unknown benchmarks" in body["error"]
+
+    def test_job_contains_per_benchmark_failures(self):
+        """One broken benchmark lands in ``job.failures``; the rest of
+        the sweep completes and the job still reports ``done``."""
+
+        def evaluator(task):
+            if task["name"] == "fft":
+                raise ValueError("injected engine failure")
+            return stub_payload(task["name"]), 0.0
+
+        with running_service(evaluator=evaluator) as (_, client):
+            job_id = client.sweep(["conv", "fft", "mm"], **EVAL_KW)
+            job = client.wait_job(job_id, poll_interval=0.05,
+                                  timeout=30)
+            assert job["status"] == "done"
+            assert job["progress"] == {"done": 3, "total": 3}
+            assert sorted(job["result"]["benchmarks"]) == ["conv", "mm"]
+            assert job["result"]["failed"] == 1
+            assert len(job["failures"]) == 1
+            failure = job["failures"][0]
+            assert failure["name"] == "fft"
+            assert failure["error"] == "ValueError"
+            assert "injected engine failure" in failure["message"]
+            assert failure["attempts"] >= 1
+
+    def test_job_fails_when_every_benchmark_fails(self):
+        def evaluator(task):
+            raise ValueError("nothing works")
+
+        with running_service(evaluator=evaluator) as (_, client):
+            from repro.service.client import JobFailed
+            job_id = client.sweep(["conv", "fft"], **EVAL_KW)
+            with pytest.raises(JobFailed, match="benchmarks failed"):
+                client.wait_job(job_id, poll_interval=0.05, timeout=30)
+            job = client.job(job_id)
+            assert job["status"] == "failed"
+            assert sorted(f["name"] for f in job["failures"]) \
+                == ["conv", "fft"]
 
     def test_job_admission_backpressure(self):
         stub = StubEvaluator(gated=True)

@@ -4,6 +4,11 @@ A scripted stdlib HTTP server plays the part of the service, so the
 retry/backoff/timeout discipline is tested in isolation: 429/503 with
 ``Retry-After`` must be retried, 4xx must not, connection failures
 must retry then surface as :class:`ServiceError`.
+
+The retry *schedule* (exact Retry-After honoring, backoff curve,
+wall-clock retry budget, circuit breaker) is tested against a fake
+clock — the client's ``clock``/``sleep`` are injectable, so no test
+here actually sleeps.
 """
 
 import json
@@ -12,7 +17,24 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
-from repro.service.client import JobFailed, ServiceClient, ServiceError
+from repro.service.client import (
+    CircuitOpen, JobFailed, ServiceClient, ServiceError,
+)
+
+
+class FakeClock:
+    """Deterministic time source recording every requested sleep."""
+
+    def __init__(self):
+        self.now = 1000.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
 
 
 class ScriptedServer:
@@ -120,6 +142,115 @@ class TestRetries:
         client = make_client("http://127.0.0.1:9", retries=1)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.healthz()
+
+
+class TestRetrySchedule:
+    """Fake-clock tests: the exact delays the client sleeps."""
+
+    def test_retry_after_is_honored_exactly(self, scripted):
+        server = scripted([
+            (429, {"Retry-After": "2.5"}, {"error": "busy"}),
+            (200, {}, {"status": "ok"}),
+        ])
+        fake = FakeClock()
+        client = make_client(server.url, backoff=0.01,
+                             clock=fake.clock, sleep=fake.sleep)
+        assert client.healthz() == {"status": "ok"}
+        # Exactly the server's number — not max(backoff, retry_after),
+        # not the client-side curve.
+        assert fake.sleeps == [2.5]
+
+    def test_backoff_curve_without_retry_after(self, scripted):
+        server = scripted([(503, {}, {"error": "draining"})] * 3
+                          + [(200, {}, {"status": "ok"})])
+        fake = FakeClock()
+        client = make_client(server.url, backoff=0.1, max_backoff=0.15,
+                             clock=fake.clock, sleep=fake.sleep)
+        assert client.healthz() == {"status": "ok"}
+        assert fake.sleeps == [0.1, 0.15, 0.15]     # capped doubling
+
+    def test_unparseable_retry_after_falls_back_to_backoff(
+            self, scripted):
+        server = scripted([
+            (429, {"Retry-After": "soon"}, {"error": "busy"}),
+            (200, {}, {"status": "ok"}),
+        ])
+        fake = FakeClock()
+        client = make_client(server.url, backoff=0.25, max_backoff=1.0,
+                             clock=fake.clock, sleep=fake.sleep)
+        assert client.healthz() == {"status": "ok"}
+        assert fake.sleeps == [0.25]
+
+    def test_retry_budget_refuses_oversized_waits(self, scripted):
+        """A Retry-After beyond the remaining wall-clock budget stops
+        the retry loop immediately instead of overshooting it."""
+        server = scripted([
+            (429, {"Retry-After": "1"}, {"error": "busy"}),
+            (429, {"Retry-After": "60"}, {"error": "busy"}),
+            (200, {}, {"status": "ok"}),
+        ])
+        fake = FakeClock()
+        client = make_client(server.url, retries=5, retry_budget=5.0,
+                             clock=fake.clock, sleep=fake.sleep)
+        with pytest.raises(ServiceError) as info:
+            client.healthz()
+        assert info.value.status == 429
+        assert fake.sleeps == [1.0]       # the 60s wait never happened
+        assert len(server.requests) == 2
+
+
+class TestCircuitBreaker:
+    def make_broken_client(self, **overrides):
+        fake = FakeClock()
+        kwargs = dict(timeout=1, retries=0, backoff=0.01,
+                      circuit_threshold=2, circuit_reset=30.0,
+                      clock=fake.clock, sleep=fake.sleep)
+        kwargs.update(overrides)
+        return ServiceClient("http://127.0.0.1:9", **kwargs), fake
+
+    def test_opens_after_threshold_and_fails_fast(self):
+        client, fake = self.make_broken_client()
+        for _ in range(2):
+            with pytest.raises(ServiceError, match="cannot reach"):
+                client.healthz()
+        assert client.circuit_open
+        with pytest.raises(CircuitOpen, match="circuit open"):
+            client.healthz()
+
+    def test_half_open_probe_after_reset_window(self):
+        client, fake = self.make_broken_client()
+        for _ in range(2):
+            with pytest.raises(ServiceError, match="cannot reach"):
+                client.healthz()
+        fake.now += 31.0                  # past the reset window
+        assert not client.circuit_open
+        # The probe is allowed through (and fails against a dead
+        # server as a transport error, not CircuitOpen).
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+    def test_success_closes_the_circuit(self, scripted):
+        server = scripted([(200, {}, {"status": "ok"})])
+        client, fake = self.make_broken_client()
+        for _ in range(2):
+            with pytest.raises(ServiceError, match="cannot reach"):
+                client.healthz()
+        fake.now += 31.0
+        client.base_url = server.url      # server "came back"
+        assert client.healthz() == {"status": "ok"}
+        assert not client.circuit_open
+        assert client._consecutive_failures == 0
+
+    def test_circuit_stops_mid_request_retries(self):
+        """Retries within one request trip the breaker too: once the
+        threshold is crossed the loop stops burning attempts."""
+        client, fake = self.make_broken_client(retries=6)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+        # threshold=2: two attempts, then the circuit opened and the
+        # remaining four retries were skipped.
+        assert client._consecutive_failures == 2
+        assert client.circuit_open
 
 
 class TestJobHelpers:
