@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the perf-trajectory smoke benchmark.
+
+Equivalent to ``python -m repro bench`` but runnable straight from a
+checkout without installing the package::
+
+    python scripts/perf_bench.py --baseline auto
+
+CI runs it with ``--baseline auto`` so any >30% regression of the
+object/fast speedup ratios against the newest checked-in BENCH_*.json
+fails the build.  See :mod:`repro.bench` for the payload schema.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cli import main                          # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench"] + sys.argv[1:]))

@@ -14,6 +14,7 @@ from repro.analysis.regions import loop_intervals
 from repro.analysis.slicing import slice_loop_body
 from repro.energy.mcpat import EnergyModel
 from repro.tdg.engine import TimingEngine, AccelResources
+from repro.tdg.fastpath import make_engine
 
 
 class SeqAllocator:
@@ -240,11 +241,14 @@ class BSAModel:
 
     # -- evaluation ------------------------------------------------------
     def evaluate_region(self, ctx, plan, core_config,
-                        max_invocations=None):
+                        max_invocations=None, engine=None):
         """Evaluate all invocations of one static region.
 
         Returns a :class:`RegionEstimate`; invocation costs beyond
         *max_invocations* are extrapolated from the evaluated mean.
+        *engine* picks the timing engine implementation (see
+        :func:`repro.tdg.fastpath.resolve_engine`); results are
+        byte-identical either way.
         """
         loop = plan["loop"]
         key = loop.key
@@ -262,12 +266,11 @@ class BSAModel:
         for interval in evaluated:
             stream = self.transform_interval(ctx, plan, interval,
                                              core_config, seq_alloc)
-            engine = TimingEngine(
-                core_config,
+            result = make_engine(
+                core_config, engine,
                 accel_resources=self.accel_resources(core_config),
                 detailed=self.detailed,
-            )
-            result = engine.run(stream)
+            ).run(stream)
             cycles = result.cycles + entry_overhead
             breakdown = energy_model.evaluate(
                 stream, cycles,

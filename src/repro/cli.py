@@ -7,6 +7,7 @@ trace NAME                simulate one benchmark, print trace stats
 run NAME                  evaluate one benchmark on ExoCores
 classify NAME             behavior classes of its loops (Fig. 6)
 sweep [NAMES...]          design-space exploration (Figs. 10-13)
+bench                     perf-trajectory smoke benchmark (BENCH_*.json)
 validate                  regenerate the Table 1 validation summary
 serve                     long-lived HTTP evaluation service
 
@@ -119,7 +120,8 @@ def _cmd_run(args):
         raise CLIError(f"unknown BSAs {unknown!r} "
                        f"(known: {', '.join(ALL_BSAS)})")
     tdg = _workload(args.name).construct_tdg(scale=args.scale)
-    evaluation = evaluate_benchmark(tdg, name=args.name)
+    evaluation = evaluate_benchmark(tdg, name=args.name,
+                                    engine=args.engine)
     print(f"{'design':<16} {'cycles':>10} {'nJ':>10} {'speedup':>8} "
           f"{'energyX':>8} {'area':>6}")
     for core in ("IO2", "OOO2", "OOO4", "OOO6"):
@@ -194,6 +196,7 @@ def _cmd_sweep(args):
                       task_timeout=args.task_timeout,
                       max_pool_restarts=args.max_pool_restarts,
                       resume=args.resume,
+                      engine=args.engine,
                       progress=lambda n: print("  ...", n,
                                                file=sys.stderr))
     summary = sweep_stats_summary(sweep)
@@ -233,6 +236,52 @@ def _cmd_sweep(args):
     print("\n== energy-performance space ==")
     print(frontier_plot(rows))
     return 0
+
+
+def _cmd_bench(args):
+    from repro.bench import (
+        check_regression, collect_bench, dumps_bench, format_bench,
+        latest_bench, load_bench, write_bench,
+    )
+
+    sweep_names = tuple(args.sweep_names.split(",")) \
+        if args.sweep_names else ("conv",)
+    payload = collect_bench(
+        workload=args.workload, core=args.core, scale=args.scale,
+        reps=args.reps, sweep_names=sweep_names,
+        sweep_scale=args.scale, max_invocations=args.max_invocations)
+    print(format_bench(payload), file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        found = latest_bench(args.out_dir)
+        baseline_path = str(found) if found is not None else None
+        if baseline_path is None:
+            print("[bench] no BENCH_*.json baseline found; "
+                  "skipping regression check", file=sys.stderr)
+    failures = []
+    if baseline_path:
+        try:
+            baseline = load_bench(baseline_path)
+        except (OSError, ValueError) as exc:
+            raise CLIError(
+                f"cannot read baseline {baseline_path}: {exc}"
+            ) from None
+        failures = check_regression(payload, baseline,
+                                    tolerance=args.tolerance)
+        for failure in failures:
+            print(f"[bench] REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print(f"[bench] no regression vs {baseline_path} "
+                  f"(tolerance {args.tolerance:.0%})",
+                  file=sys.stderr)
+
+    if args.no_write:
+        print(dumps_bench(payload), end="")
+    else:
+        path = write_bench(payload, args.out_dir)
+        print(f"[bench] wrote {path}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_serve(args):
@@ -289,6 +338,10 @@ def build_parser():
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--bsas", default=None,
                    help="comma-separated subset (default: all four)")
+    p.add_argument("--engine", choices=("auto", "object", "fast"),
+                   default=None,
+                   help="timing-engine implementation (byte-identical "
+                        "results; default: $REPRO_ENGINE or auto)")
 
     p = sub.add_parser("classify", help="behavior taxonomy")
     p.add_argument("name")
@@ -336,6 +389,36 @@ def build_parser():
     p.add_argument("--obs-out", default=None,
                    help="write the recorded spans as Chrome "
                         "trace-event JSON (implies --obs)")
+    p.add_argument("--engine", choices=("auto", "object", "fast"),
+                   default=None,
+                   help="timing-engine implementation (byte-identical "
+                        "results; default: $REPRO_ENGINE or auto)")
+
+    p = sub.add_parser("bench",
+                       help="perf-trajectory smoke benchmark")
+    p.add_argument("--workload", default="conv",
+                   help="smoke workload (default conv)")
+    p.add_argument("--core", default="OOO2",
+                   help="core config to time (default OOO2)")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--reps", type=int, default=5,
+                   help="repetitions per stage; minimum is reported")
+    p.add_argument("--max-invocations", type=int, default=2)
+    p.add_argument("--sweep-names", default=None,
+                   help="comma-separated benchmarks for the sweep-"
+                        "throughput stage (default: conv)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_<date>.json (default .)")
+    p.add_argument("--no-write", action="store_true",
+                   help="print the payload to stdout instead of "
+                        "writing BENCH_<date>.json")
+    p.add_argument("--baseline", default=None,
+                   help="BENCH file to gate against ('auto' picks the "
+                        "newest BENCH_*.json in --out-dir); any "
+                        "regression exits 1")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="fractional ratio drop tolerated before a "
+                        "regression is flagged (default 0.30)")
 
     p = sub.add_parser("validate", help="Table 1 validation")
     p.add_argument("--scale", type=float, default=0.3)
@@ -380,6 +463,7 @@ def main(argv=None):
         "run": _cmd_run,
         "classify": _cmd_classify,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "validate": _cmd_validate,
         "serve": _cmd_serve,
     }[args.command]

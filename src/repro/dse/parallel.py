@@ -26,7 +26,7 @@ import time
 
 
 def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
-              with_amdahl=True):
+              with_amdahl=True, engine=None):
     """Canonical picklable task payload for one benchmark evaluation.
 
     This is the codec shared by every consumer of the worker boundary:
@@ -37,7 +37,20 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
     keys are injected by :func:`run_tasks` / the resilient runner,
     never by callers — they shape what the worker reports and which
     injected faults fire, not what it computes.)
+
+    ``engine`` selects the timing-engine implementation
+    (:mod:`repro.tdg.fastpath`).  ``"auto"`` (the default) is resolved
+    *in the worker*, so a pool mixing numpy-ful and numpy-less hosts
+    still evaluates every task.  The engine is deliberately not part
+    of the cache key: both engines produce byte-identical records.
     """
+    from repro.tdg.fastpath import ENGINE_CHOICES
+
+    engine = engine or "auto"
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown engine {engine!r} (choose from "
+            f"{', '.join(ENGINE_CHOICES)})")
     return {
         "name": name,
         "core_names": tuple(core_names),
@@ -45,6 +58,7 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
         "scale": float(scale),
         "max_invocations": int(max_invocations),
         "with_amdahl": bool(with_amdahl),
+        "engine": engine,
     }
 
 
@@ -78,6 +92,7 @@ def evaluate_task(task):
             scale=task["scale"],
             max_invocations=task["max_invocations"],
             with_amdahl=task["with_amdahl"],
+            engine=task.get("engine"),
         )
 
     started = time.perf_counter()

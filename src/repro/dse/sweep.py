@@ -256,20 +256,22 @@ class SweepResult:
 
 def evaluate_one_benchmark(name, core_names=DSE_CORES,
                            subsets=ALL_SUBSETS, scale=1.0,
-                           max_invocations=8, with_amdahl=True):
+                           max_invocations=8, with_amdahl=True,
+                           engine=None):
     """Evaluate one benchmark; the per-benchmark unit of the sweep.
 
     Builds the TDG, costs every (core, BSA) pair, and composes every
     (core, subset) design point.  Pure function of its arguments —
     this is what makes per-benchmark results cacheable and the sweep
-    shardable across processes.
+    shardable across processes.  *engine* picks the timing-engine
+    implementation (byte-identical results; throughput only).
     """
     with span("dse.evaluate_benchmark", benchmark=name, scale=scale):
         workload = WORKLOADS[name]
         tdg = workload.construct_tdg(scale=scale)
         evaluation = evaluate_benchmark(
             tdg, core_names=core_names, bsa_names=ALL_BSAS,
-            max_invocations=max_invocations, name=name)
+            max_invocations=max_invocations, name=name, engine=engine)
         record = BenchmarkResult(name, workload.suite,
                                  workload.category)
         for core in core_names:
@@ -290,7 +292,7 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
               scale=1.0, max_invocations=8, with_amdahl=True,
               progress=None, workers=1, cache_dir=None, use_cache=None,
               retry_policy=None, task_timeout=None,
-              max_pool_restarts=2, resume=False):
+              max_pool_restarts=2, resume=False, engine=None):
     """Run the design-space exploration.
 
     Parameters
@@ -335,6 +337,12 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
         partial) run of this exact sweep; manifest-verified cache
         hits are reported as ``resumed`` and prior failures are
         retried.  Requires the cache.
+    engine:
+        Timing-engine implementation (``"auto"``/``"object"``/
+        ``"fast"``, see :mod:`repro.tdg.fastpath`).  The engines are
+        proven byte-identical, so the choice affects throughput only —
+        it is deliberately excluded from the cache key, making cache
+        entries interchangeable across engines.
 
     Returns a :class:`SweepResult` whose ``stats`` attribute records
     per-benchmark timing, cache hit/miss counts and terminal
@@ -354,7 +362,8 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
             with_amdahl=with_amdahl, progress=progress,
             workers=workers, cache_dir=cache_dir, use_cache=use_cache,
             retry_policy=retry_policy, task_timeout=task_timeout,
-            max_pool_restarts=max_pool_restarts, resume=resume)
+            max_pool_restarts=max_pool_restarts, resume=resume,
+            engine=engine)
         current.set(benchmarks=len(sweep), cached=sweep.stats.hits,
                     computed=sweep.stats.misses,
                     failed=len(sweep.stats.failures))
@@ -363,7 +372,8 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
 
 def _run_sweep(names, core_names, subsets, scale, max_invocations,
                with_amdahl, progress, workers, cache_dir, use_cache,
-               retry_policy, task_timeout, max_pool_restarts, resume):
+               retry_policy, task_timeout, max_pool_restarts, resume,
+               engine):
     from repro.dse.cache import SweepCache, cache_key, default_cache_dir
     from repro.dse.parallel import make_task, run_tasks
     from repro.resilience.checkpoint import (
@@ -424,7 +434,8 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
                 continue
         pending.append(make_task(
             name, core_names, subsets, scale=scale,
-            max_invocations=max_invocations, with_amdahl=with_amdahl))
+            max_invocations=max_invocations, with_amdahl=with_amdahl,
+            engine=engine))
 
     def on_result(name, payload, elapsed, obs_payload=None):
         payloads[name] = payload

@@ -9,7 +9,9 @@ from repro.accel import BSA_REGISTRY, AnalysisContext
 from repro.analysis.regions import attribute_baseline
 from repro.core_model import core_by_name
 from repro.obs import counter, span
-from repro.tdg.engine import TimingEngine
+from repro.tdg.fastpath import (
+    LoweringError, lower_stream, make_engine, resolve_engine,
+)
 
 
 class CoreBaseline:
@@ -61,24 +63,39 @@ class BenchmarkEvaluation:
 
 def evaluate_benchmark(tdg, core_names=("IO2", "OOO2", "OOO4", "OOO6"),
                        bsa_names=("simd", "dp_cgra", "ns_df", "trace_p"),
-                       max_invocations=8, detailed=False, name=None):
+                       max_invocations=8, detailed=False, name=None,
+                       engine=None):
     """Evaluate one TDG across cores and BSAs.
 
     *max_invocations* caps how many dynamic invocations of each region
     are transformed per (BSA, core); the rest extrapolate (the paper's
-    windowed approach bounds work the same way).
+    windowed approach bounds work the same way).  *engine* selects the
+    timing engine (``"auto"``/``"object"``/``"fast"``, see
+    :func:`repro.tdg.fastpath.resolve_engine`); the engines are
+    byte-identical, so the choice only affects throughput.
     """
+    engine = resolve_engine(engine)
     with span("exocore.evaluate", benchmark=name or tdg.program.name):
         ctx = AnalysisContext(tdg)
         evaluation = BenchmarkEvaluation(name or tdg.program.name, ctx)
         trace = tdg.trace.instructions
 
+        # The baseline trace is evaluated under every core config, so
+        # lower it once up front and amortize across runs.
+        baseline_stream = trace
+        if engine == "fast":
+            try:
+                baseline_stream = lower_stream(trace)
+            except LoweringError:
+                pass
+
         # ---- baselines --------------------------------------------------
         for core_name in core_names:
             with span("exocore.baseline", core=core_name):
                 config = core_by_name(core_name)
-                engine = TimingEngine(config, collect_commit_times=True)
-                result = engine.run(trace)
+                eng = make_engine(config, engine,
+                                  collect_commit_times=True)
+                result = eng.run(baseline_stream)
                 commit_times = result.commit_times
                 per_loop_cycles = attribute_baseline(
                     commit_times, ctx.intervals, result.cycles)
@@ -112,7 +129,8 @@ def evaluate_benchmark(tdg, core_names=("IO2", "OOO2", "OOO4", "OOO6"),
                     for key, plan in plans.items():
                         estimate = model.evaluate_region(
                             ctx, plan, config,
-                            max_invocations=max_invocations)
+                            max_invocations=max_invocations,
+                            engine=engine)
                         if estimate is not None:
                             estimates[key] = estimate
                 counter("repro_region_estimates_total",

@@ -111,12 +111,22 @@ def _normalize_params(body):
     if max_invocations < 1:
         raise BadRequest("'max_invocations' must be >= 1")
 
+    # Engine choice is resolved in the worker ("auto" adapts to the
+    # worker's numpy availability) and is deliberately absent from the
+    # cache key: both engines produce byte-identical records.
+    from repro.tdg.fastpath import ENGINE_CHOICES
+    engine = body.get("engine", "auto")
+    if engine not in ENGINE_CHOICES:
+        raise BadRequest(f"unknown engine {engine!r} "
+                         f"(known: {', '.join(ENGINE_CHOICES)})")
+
     return {
         "core_names": tuple(cores),
         "subsets": tuple(tuple(s) for s in subsets),
         "scale": scale,
         "max_invocations": max_invocations,
         "with_amdahl": bool(body.get("with_amdahl", True)),
+        "engine": engine,
     }
 
 

@@ -6,12 +6,20 @@
   evaluates core+accelerator TDGs over full traces.
 - :mod:`repro.tdg.constructor`: builds the original TDG
   (``TDG_{GPP,0}``) from a program + inputs via the interpreter.
+- :mod:`repro.tdg.fastpath`: the vectorized evaluation hot path — a
+  drop-in :class:`FastTimingEngine` that lowers instruction streams to
+  flat arrays once and relaxes edges over them (byte-identical to
+  :class:`TimingEngine`; selected via ``make_engine``/``$REPRO_ENGINE``).
 """
 
 from repro.tdg.mudg import NodeKind, EdgeKind, MicroDepGraph
 from repro.tdg.engine import TimingEngine, TimingResult
 from repro.tdg.constructor import TDG, construct_tdg
 from repro.tdg.dsl import DslTransform, Rule, op, fma_rule
+from repro.tdg.fastpath import (
+    ENGINE_CHOICES, FastTimingEngine, LoweredStream, LoweringError,
+    lower_stream, make_engine, resolve_engine,
+)
 
 __all__ = [
     "NodeKind",
@@ -19,6 +27,13 @@ __all__ = [
     "MicroDepGraph",
     "TimingEngine",
     "TimingResult",
+    "ENGINE_CHOICES",
+    "FastTimingEngine",
+    "LoweredStream",
+    "LoweringError",
+    "lower_stream",
+    "make_engine",
+    "resolve_engine",
     "TDG",
     "construct_tdg",
     "DslTransform",

@@ -59,6 +59,63 @@ class TestResourceTable:
         # Old entries pruned, new reservations still work.
         assert table.reserve(300001) == 300001
 
+    def test_multi_cycle_occupancy_needs_contiguous_room(self):
+        # occupancy > 1 books a contiguous run of cycles with a free
+        # unit in EVERY one of them; a single busy cycle in the middle
+        # pushes the whole reservation past it.
+        table = ResourceTable(1)
+        assert table.reserve(2) == 2
+        assert table.reserve(0, occupancy=4) == 3
+        # Cycles 3-6 are now fully booked.
+        assert table.reserve(0) == 0
+        assert table.reserve(1) == 1
+        assert table.reserve(3) == 7
+
+    def test_multi_cycle_occupancy_counts_capacity(self):
+        # With capacity 2, two occupancy-3 reservations share the same
+        # cycles; the third must wait for the first to "drain".
+        table = ResourceTable(2)
+        assert table.reserve(0, occupancy=3) == 0
+        assert table.reserve(0, occupancy=3) == 0
+        assert table.reserve(0, occupancy=3) == 3
+
+    def test_occupancy_spanning_window_boundary(self):
+        # A multi-cycle reservation straddling the pruning horizon is
+        # honored: pruning only ever discards cycles older than the
+        # lookback window, never the frontier the occupancy extends.
+        table = ResourceTable(1)
+        window = ResourceTable.WINDOW
+        for t in range(0, 3 * window, 2):
+            table.reserve(t)
+        edge = 3 * window + 1
+        assert table.reserve(edge, occupancy=5) == edge
+        assert table.reserve(edge) == edge + 5
+
+
+class TestAccelResources:
+    def test_reserve_dispatches_by_tag(self):
+        accel = AccelResources({"a": 1, "b": 2})
+        assert accel.reserve("a", 0) == 0
+        assert accel.reserve("a", 0) == 1     # a's single unit is busy
+        assert accel.reserve("b", 0) == 0
+        assert accel.reserve("b", 0) == 0     # b has two units
+        assert accel.reserve("b", 0) == 1
+
+    def test_reserve_occupancy_serializes(self):
+        accel = AccelResources({"a": 1})
+        assert accel.reserve("a", 0, occupancy=16) == 0
+        assert accel.reserve("a", 0) == 16
+
+    def test_unknown_tag_raises(self):
+        accel = AccelResources({"a": 1})
+        with pytest.raises(KeyError):
+            accel.reserve("zzz", 0)
+
+    def test_windows_default_empty(self):
+        assert AccelResources({"a": 1}).windows == {}
+        accel = AccelResources({"a": 1}, windows={"a": 64})
+        assert accel.windows["a"] == 64
+
 
 class TestBandwidthLimits:
     @pytest.mark.parametrize("config,expect_ipc", [

@@ -1,0 +1,314 @@
+"""Object-engine / fastpath equivalence: the contract is *byte* equality.
+
+The fast engine (:mod:`repro.tdg.fastpath`) is only allowed to exist
+because it is indistinguishable from :class:`TimingEngine` — same
+cycles, same commit times, same critical-edge histogram, and therefore
+the same serialized sweep artifact.  These tests pin that contract:
+
+- seeded-random instruction streams (property-style: every engine
+  feature — unpipelined FUs, memory levels, mispredicts, icache
+  stalls, live-in deps, lat overrides — appears with some probability)
+  across core configs and both fastpath backends (C kernel and pure
+  Python via ``$REPRO_NO_KERNEL``);
+- every BSA model's ``evaluate_region`` across cores, plus the DSL
+  fma transform, on the shared kernel fixtures;
+- the golden four-benchmark sweep serialized with ``dumps_sweep``:
+  object vs fast must agree byte-for-byte (the PR's acceptance
+  criterion), and the fast engine must reproduce the checked-in
+  golden snapshot.
+"""
+
+import random
+
+import pytest
+
+from repro.accel import BSA_REGISTRY, AnalysisContext
+from repro.core_model import CoreConfig, IO2, OOO2, OOO4, OOO6
+from repro.isa import Instruction, Opcode
+from repro.sim.trace import DynInst
+from repro.tdg import DslTransform, fma_rule
+from repro.tdg.engine import AccelResources, TimingEngine
+from repro.tdg.fastpath import (
+    FastTimingEngine, LoweringError, kernel_available, lower_stream,
+    make_engine, resolve_engine, _reset_kernel,
+)
+
+_STATIC = Instruction(Opcode.ADD, dest=3, srcs=(4,))
+_STATIC.uid = 0
+
+CONFIGS = [IO2, OOO2, OOO6,
+           CoreConfig("tiny", width=2, rob_size=24, iq_size=8,
+                      dcache_ports=1, alu_units=2)]
+
+_MEM_LEVELS = (("l1", 4), ("l2", 12), ("dram", 176))
+
+
+def make_inst(seq, opcode=Opcode.ADD, deps=(), **kwargs):
+    return DynInst(seq, _STATIC, opcode, src_deps=deps, **kwargs)
+
+
+def random_stream(seed, n=600, accel_ratio=0.0):
+    """Adversarial stream touching every timing-engine feature."""
+    rng = random.Random(seed)
+    opcodes = (Opcode.ADD, Opcode.ADD, Opcode.MUL, Opcode.FADD,
+               Opcode.FMUL, Opcode.FDIV, Opcode.DIV, Opcode.LD,
+               Opcode.LD, Opcode.ST, Opcode.BR)
+    stream = []
+    last_store = None
+    for seq in range(n):
+        opcode = rng.choice(opcodes)
+        kwargs = {}
+        deps = []
+        for _ in range(rng.randrange(3)):
+            # Mostly in-stream back-references; occasionally a live-in
+            # (negative / far-future seq the engine treats as ready).
+            if seq and rng.random() < 0.9:
+                deps.append(rng.randrange(max(0, seq - 40), seq))
+            else:
+                deps.append(seq + 10_000)
+        if opcode in (Opcode.LD, Opcode.ST):
+            level, lat = rng.choice(_MEM_LEVELS)
+            kwargs.update(mem_addr=rng.randrange(4096) * 8,
+                          mem_lat=lat, mem_level=level)
+            if opcode is Opcode.LD and last_store is not None \
+                    and rng.random() < 0.3:
+                kwargs["mem_dep"] = last_store
+        if opcode is Opcode.BR and rng.random() < 0.4:
+            kwargs["mispredicted"] = True
+        if rng.random() < 0.02:
+            kwargs["icache_lat"] = rng.choice((12, 26))
+        if rng.random() < 0.05:
+            kwargs["lat_override"] = rng.randrange(1, 40)
+        if accel_ratio and rng.random() < accel_ratio:
+            kwargs["accel"] = "a"
+            if seq and rng.random() < 0.5:
+                kwargs["extra_deps"] = (
+                    (rng.randrange(seq), rng.randrange(1, 20)),)
+        inst = make_inst(seq, opcode, deps=tuple(deps), **kwargs)
+        if opcode is Opcode.ST:
+            last_store = seq
+        stream.append(inst)
+    return stream
+
+
+def assert_results_equal(reference, candidate):
+    assert candidate.cycles == reference.cycles
+    assert type(candidate.cycles) is int
+    assert candidate.instructions == reference.instructions
+    assert candidate.committed_uops == reference.committed_uops
+    assert candidate.crit_histogram == reference.crit_histogram
+    if reference.commit_times is None:
+        assert candidate.commit_times is None
+    else:
+        assert list(candidate.commit_times) == \
+            list(reference.commit_times)
+        assert all(type(t) is int for t in candidate.commit_times)
+
+
+def run_both(stream, config, accel_counts=None, accel_windows=None,
+             collect=True, start_time=0):
+    def resources():
+        if accel_counts is None:
+            return None
+        return AccelResources(accel_counts, windows=accel_windows)
+
+    reference = TimingEngine(
+        config, accel_resources=resources(),
+        collect_commit_times=collect).run(stream, start_time=start_time)
+    candidate = FastTimingEngine(
+        config, accel_resources=resources(),
+        collect_commit_times=collect).run(stream, start_time=start_time)
+    assert_results_equal(reference, candidate)
+    return reference
+
+
+@pytest.fixture(params=["kernel", "python"])
+def fastpath_backend(request, monkeypatch):
+    """Run the fastpath test body under both backends.
+
+    The pure-Python backend is forced via ``$REPRO_NO_KERNEL``; the
+    "kernel" parametrization silently degrades to Python when no C
+    compiler is available (the fallback IS the behavior under test).
+    """
+    if request.param == "python":
+        monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+    _reset_kernel()
+    yield request.param
+    monkeypatch.undo()
+    _reset_kernel()
+
+
+class TestRandomStreams:
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_core_streams(self, fastpath_backend, config, seed):
+        run_both(random_stream(seed), config)
+
+    @pytest.mark.parametrize("config", [IO2, OOO2, OOO6],
+                             ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_accel_streams(self, fastpath_backend, config, seed):
+        stream = random_stream(100 + seed, accel_ratio=0.5)
+        run_both(stream, config, accel_counts={"a": 2},
+                 accel_windows={"a": 32})
+
+    def test_accel_window_limit(self, fastpath_backend):
+        stream = [make_inst(i, Opcode.CFU, accel="a")
+                  for i in range(300)]
+        run_both(stream, OOO2, accel_counts={"a": 8},
+                 accel_windows={"a": 16})
+
+    def test_start_time_offset(self, fastpath_backend):
+        run_both(random_stream(7), OOO2, start_time=1000)
+
+    def test_without_commit_times(self, fastpath_backend):
+        run_both(random_stream(8), OOO4, collect=False)
+
+    def test_empty_stream(self, fastpath_backend):
+        run_both([], OOO2)
+
+    def test_prelowered_stream_reused_across_cores(
+            self, fastpath_backend):
+        stream = random_stream(9)
+        lowered = lower_stream(stream)
+        assert lower_stream(lowered) is lowered
+        for config in (IO2, OOO2, OOO6):
+            reference = TimingEngine(
+                config, collect_commit_times=True).run(stream)
+            candidate = FastTimingEngine(
+                config, collect_commit_times=True).run(lowered)
+            assert_results_equal(reference, candidate)
+
+
+class TestLoweringFallback:
+    def test_float_latency_falls_back_to_object(self):
+        # A float mem_lat must not be silently truncated: lowering
+        # refuses and the fast engine transparently takes the object
+        # path, still producing the object engine's exact numbers.
+        stream = random_stream(11, n=100)
+        stream[50] = make_inst(50, Opcode.LD, mem_addr=8,
+                               mem_lat=4.5, mem_level="l1")
+        with pytest.raises(LoweringError):
+            lower_stream(stream)
+        run_both(stream, OOO2)
+
+    def test_used_accel_resources_fall_back(self):
+        resources = AccelResources({"a": 2})
+        resources.reserve("a", 0)       # pre-warmed: stateful tables
+        stream = [make_inst(i, Opcode.CFU, accel="a")
+                  for i in range(50)]
+        reference = TimingEngine(
+            OOO2, accel_resources=resources,
+            collect_commit_times=True).run(stream)
+        resources2 = AccelResources({"a": 2})
+        resources2.reserve("a", 0)
+        candidate = FastTimingEngine(
+            OOO2, accel_resources=resources2,
+            collect_commit_times=True).run(stream)
+        assert_results_equal(reference, candidate)
+
+
+class TestAccelModels:
+    @staticmethod
+    def _estimates(bsa, core, tdg):
+        """All region estimates for one (bsa, core, tdg, engine).
+
+        A fresh context + model per engine: some transforms memoize
+        schedules on first evaluation, so back-to-back calls on shared
+        state differ for reasons unrelated to the engine under test.
+        """
+        def sweep(engine):
+            model = BSA_REGISTRY[bsa](detailed=False)
+            ctx = AnalysisContext(tdg)
+            out = {}
+            for key, plan in model.find_candidates(ctx).items():
+                est = model.evaluate_region(
+                    ctx, plan, core, max_invocations=2, engine=engine)
+                out[key] = None if est is None else (
+                    est.cycles, est.energy_pj, est.dyn_insts,
+                    est.invocations, est.accel_cycles)
+            return out
+
+        return sweep("object"), sweep("fast")
+
+    @pytest.mark.parametrize("core", [IO2, OOO2, OOO6],
+                             ids=lambda c: c.name)
+    @pytest.mark.parametrize("bsa", sorted(BSA_REGISTRY))
+    def test_evaluate_region_parity(self, bsa, core, vector_tdg,
+                                    branchy_tdg, nested_tdg):
+        compared = 0
+        for tdg in (vector_tdg, branchy_tdg, nested_tdg):
+            obj, fast = self._estimates(bsa, core, tdg)
+            assert fast == obj
+            compared += sum(1 for v in obj.values() if v is not None)
+        assert compared > 0, f"no {bsa} candidates in any fixture"
+
+    def test_dsl_fma_transform_parity(self, vector_tdg):
+        transform = DslTransform(vector_tdg.program, [fma_rule()])
+        stream = transform.apply(vector_tdg.trace.instructions)
+        assert len(stream) < len(vector_tdg.trace.instructions)
+        for config in (IO2, OOO2, OOO4):
+            run_both(stream, config)
+
+
+class TestEngineSelection:
+    def test_resolve_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine("object") == "object"
+        assert resolve_engine("fast") == "fast"
+        assert resolve_engine("auto") in ("object", "fast")
+        assert resolve_engine(None) == resolve_engine("auto")
+        monkeypatch.setenv("REPRO_ENGINE", "object")
+        assert resolve_engine(None) == "object"
+        with pytest.raises(ValueError):
+            resolve_engine("warp")
+
+    def test_make_engine_types(self):
+        assert isinstance(make_engine(OOO2, "object"), TimingEngine)
+        assert isinstance(make_engine(OOO2, "fast"), FastTimingEngine)
+
+    def test_kernel_available_is_bool(self):
+        assert kernel_available() in (True, False)
+
+
+class TestSweepByteParity:
+    """The acceptance criterion: identical serialized sweep bytes."""
+
+    NAMES = ("181.mcf", "cjpeg1", "conv", "fft")
+
+    @pytest.fixture(scope="class")
+    def sweep_pair(self):
+        from repro.dse import run_sweep
+
+        return {
+            engine: run_sweep(names=self.NAMES, scale=0.1,
+                              max_invocations=2, with_amdahl=False,
+                              use_cache=False, engine=engine)
+            for engine in ("object", "fast")
+        }
+
+    def test_dumps_sweep_byte_identical(self, sweep_pair):
+        from repro.dse.persist import dumps_sweep
+
+        obj = dumps_sweep(sweep_pair["object"])
+        fast = dumps_sweep(sweep_pair["fast"])
+        assert fast == obj
+
+    def test_fast_engine_matches_golden_snapshot(self, sweep_pair,
+                                                 update_golden):
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, str(Path(__file__).parent))
+        try:
+            from test_golden_regression import (
+                check_golden, golden_summary,
+            )
+        finally:
+            sys.path.pop(0)
+
+        if update_golden:
+            pytest.skip("golden updates happen in "
+                        "test_golden_regression.py")
+        check_golden("sweep_summary",
+                     golden_summary(sweep_pair["fast"]), False)

@@ -1,0 +1,177 @@
+"""Tests for the perf-trajectory benchmark harness (repro.bench).
+
+Schema shape, canonical-field determinism, the regression gate's
+decision logic, the BENCH_<date>.json file conventions, and a smoke
+assertion (marked ``bench``) that the fast engine actually beats the
+object engine on the smoke workload.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION, SINGLE_EVAL_FLOOR, STAGES, bench_filename,
+    canonical_fields, check_regression, collect_bench, dumps_bench,
+    format_bench, latest_bench, load_bench, write_bench,
+)
+
+BENCH_KW = dict(workload="conv", core="OOO2", scale=0.1, reps=2,
+                sweep_names=("conv",), sweep_scale=0.1,
+                max_invocations=2)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return collect_bench(**BENCH_KW)
+
+
+class TestSchema:
+    def test_top_level_shape(self, payload):
+        assert payload["schema"] == SCHEMA_VERSION
+        assert set(payload) == {"schema", "commit", "date", "engine",
+                                "workload", "stages_ns", "per_inst_ns",
+                                "speedup", "sweep"}
+        assert isinstance(payload["commit"], str) and payload["commit"]
+        # date: YYYY-MM-DD
+        year, month, day = payload["date"].split("-")
+        assert len(year) == 4 and len(month) == 2 and len(day) == 2
+
+    def test_engine_block(self, payload):
+        engine = payload["engine"]
+        assert set(engine) == {"numpy", "kernel", "default"}
+        assert isinstance(engine["numpy"], bool)
+        assert isinstance(engine["kernel"], bool)
+        assert engine["default"] in ("object", "fast")
+
+    def test_stages_are_positive_ints(self, payload):
+        assert set(payload["stages_ns"]) == set(STAGES)
+        for stage, ns in payload["stages_ns"].items():
+            assert isinstance(ns, int) and ns > 0, stage
+
+    def test_workload_block(self, payload):
+        workload = payload["workload"]
+        assert workload["name"] == "conv"
+        assert workload["core"] == "OOO2"
+        assert workload["instructions"] > 0
+        assert workload["reps"] == 2
+
+    def test_ratios_consistent(self, payload):
+        stages = payload["stages_ns"]
+        assert payload["speedup"]["single_eval"] == pytest.approx(
+            stages["eval_object"] / stages["eval_fast"])
+        assert payload["per_inst_ns"]["fast"] == pytest.approx(
+            stages["eval_fast"] / payload["workload"]["instructions"])
+
+    def test_sweep_block(self, payload):
+        sweep = payload["sweep"]
+        assert sweep["names"] == ["conv"]
+        assert sweep["engine_runs"] > 0
+        assert sweep["evals_per_sec_object"] > 0
+        assert sweep["evals_per_sec_fast"] > 0
+
+    def test_format_bench_renders(self, payload):
+        text = format_bench(payload)
+        assert "conv" in text and "speedup" in text
+
+
+class TestCanonical:
+    def test_dumps_is_canonical_json(self, payload):
+        text = dumps_bench(payload)
+        assert text == dumps_bench(json.loads(text))
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+
+    def test_canonical_fields_drop_timings(self, payload):
+        canon = canonical_fields(payload)
+        assert "stages_ns" not in canon
+        assert "per_inst_ns" not in canon
+        assert "speedup" not in canon
+        assert not any(k.startswith("evals_per_sec")
+                       for k in canon["sweep"])
+        assert canon["sweep"]["engine_runs"] == \
+            payload["sweep"]["engine_runs"]
+
+    def test_canonical_fields_deterministic(self, payload):
+        again = collect_bench(**BENCH_KW)
+        assert canonical_fields(again) == canonical_fields(payload)
+
+
+class TestBenchFiles:
+    def test_write_and_load_roundtrip(self, payload, tmp_path):
+        path = write_bench(payload, tmp_path)
+        assert path.name == bench_filename(payload["date"])
+        assert load_bench(path) == payload
+
+    def test_latest_bench_picks_newest_date(self, tmp_path):
+        assert latest_bench(tmp_path) is None
+        (tmp_path / "BENCH_2026-01-01.json").write_text("{}")
+        (tmp_path / "BENCH_2026-03-01.json").write_text("{}")
+        assert latest_bench(tmp_path).name == "BENCH_2026-03-01.json"
+
+
+def _mini(single=80.0, cold=2.5, eps_obj=80.0, eps_fast=100.0,
+          schema=SCHEMA_VERSION):
+    return {
+        "schema": schema,
+        "speedup": {"single_eval": single, "cold_eval": cold},
+        "sweep": {"evals_per_sec_object": eps_obj,
+                  "evals_per_sec_fast": eps_fast},
+    }
+
+
+class TestRegressionGate:
+    def test_identical_passes(self):
+        assert check_regression(_mini(), _mini()) == []
+
+    def test_improvement_passes(self):
+        assert check_regression(_mini(single=200.0), _mini()) == []
+
+    def test_small_drop_within_tolerance(self):
+        assert check_regression(_mini(single=60.0), _mini(80.0)) == []
+
+    def test_big_drop_fails(self):
+        failures = check_regression(_mini(single=40.0), _mini(80.0))
+        assert any("single_eval" in f for f in failures)
+
+    def test_cold_eval_gated(self):
+        failures = check_regression(_mini(cold=1.0), _mini(cold=2.5))
+        assert any("cold_eval" in f for f in failures)
+
+    def test_floor_is_hard(self):
+        # Even a baseline that was itself below the floor cannot
+        # grandfather a sub-5x speedup in.
+        failures = check_regression(_mini(single=4.0),
+                                    _mini(single=4.0))
+        assert any("floor" in f for f in failures)
+        assert SINGLE_EVAL_FLOOR == 5.0
+
+    def test_sweep_ratio_gated(self):
+        failures = check_regression(_mini(eps_fast=50.0),
+                                    _mini(eps_fast=100.0))
+        assert any("sweep throughput" in f for f in failures)
+
+    def test_schema_mismatch_fails(self):
+        failures = check_regression(_mini(), _mini(schema=99))
+        assert failures and "schema" in failures[0]
+
+    def test_tolerance_parameter(self):
+        assert check_regression(_mini(single=41.0), _mini(80.0),
+                                tolerance=0.5) == []
+
+
+@pytest.mark.bench
+class TestSmokePerf:
+    """The acceptance numbers, asserted live (not just in the file)."""
+
+    def test_fast_beats_object_by_the_floor(self, payload):
+        assert payload["speedup"]["single_eval"] >= SINGLE_EVAL_FLOOR
+
+    def test_checked_in_bench_meets_the_floor(self):
+        from pathlib import Path
+        repo = Path(__file__).resolve().parents[1]
+        newest = latest_bench(repo)
+        assert newest is not None, "no BENCH_*.json checked in"
+        recorded = load_bench(newest)
+        assert recorded["schema"] == SCHEMA_VERSION
+        assert recorded["speedup"]["single_eval"] >= SINGLE_EVAL_FLOOR
