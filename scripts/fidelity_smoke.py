@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the fidelity validation sweep.
+
+Equivalent to ``python -m repro validate --fidelity`` but runnable
+straight from a checkout without installing the package::
+
+    python scripts/fidelity_smoke.py --baseline auto --no-write
+
+CI runs it with ``--baseline auto`` so the sweep's error
+distributions are gated against the newest checked-in
+FIDELITY_*.json (and the absolute mean-error ceilings) on every
+build.  See :mod:`repro.fidelity` for the payload schema and gate.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cli import main                          # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["validate", "--fidelity"] + sys.argv[1:]))

@@ -187,6 +187,30 @@ def _cmd_sweep(args):
         retry_policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
     if args.resume and args.no_cache:
         raise CLIError("--resume needs the cache (drop --no-cache)")
+    arbitration = None
+    if args.max_error is not None:
+        from repro.fidelity import (
+            ModelArbiter, latest_fidelity, load_fidelity,
+        )
+        fidelity_path = args.fidelity_file or latest_fidelity()
+        if fidelity_path is None:
+            raise CLIError(
+                "--max-error needs measured error bounds: no "
+                "FIDELITY_*.json found (run 'repro validate "
+                "--fidelity' first, or pass --fidelity-file)")
+        try:
+            fidelity = load_fidelity(fidelity_path)
+        except (OSError, ValueError) as exc:
+            raise CLIError(f"cannot read fidelity file "
+                           f"{fidelity_path}: {exc}") from None
+        arbitration = ModelArbiter.from_payload(
+            fidelity, args.max_error).to_spec()
+        print(f"[sweep] model arbitration on: bounds from "
+              f"{fidelity_path}, budget {args.max_error}",
+              file=sys.stderr)
+    elif args.fidelity_file:
+        raise CLIError("--fidelity-file does nothing without "
+                       "--max-error")
     sweep = run_sweep(names=names, scale=args.scale,
                       with_amdahl=False,
                       workers=args.workers,
@@ -197,8 +221,13 @@ def _cmd_sweep(args):
                       max_pool_restarts=args.max_pool_restarts,
                       resume=args.resume,
                       engine=args.engine,
+                      arbitration=arbitration,
                       progress=lambda n: print("  ...", n,
                                                file=sys.stderr))
+    if arbitration is not None:
+        from repro.dse.report import arbitration_table
+        print("[sweep] model arbitration decisions:", file=sys.stderr)
+        print(render_table(arbitration_table(sweep)), file=sys.stderr)
     summary = sweep_stats_summary(sweep)
     extras = ""
     if summary["resumed"]:
@@ -297,14 +326,85 @@ def _cmd_serve(args):
 
 
 def _cmd_validate(args):
+    if args.fidelity:
+        return _cmd_validate_fidelity(args)
     from repro.validation import table1
-    rows = table1(scale=args.scale)
+    rows = table1(scale=args.scale if args.scale is not None else 0.3)
     print(f"{'Accel.':>8} {'Base':>5} {'P Err.':>7} {'E Err.':>7}")
     for row in rows:
         print(f"{row['accel']:>8} {row['base']:>5} "
               f"{row['perf_err'] * 100:>6.1f}% "
               f"{row['energy_err'] * 100:>6.1f}%")
     return 0
+
+
+def _cmd_validate_fidelity(args):
+    """The fidelity sweep: FIDELITY_<date>.json + regression gate."""
+    from repro.fidelity import (
+        DEFAULT_BENCHES, DEFAULT_BSAS, DEFAULT_CORES, ModelArbiter,
+        check_fidelity, dumps_fidelity, format_fidelity,
+        latest_fidelity, load_fidelity, run_fidelity_sweep,
+        write_fidelity,
+    )
+    from repro.dse.report import arbitration_table, render_table
+    from repro.fidelity import DEFAULT_SCALE
+
+    benches = tuple(args.benches.split(",")) if args.benches \
+        else DEFAULT_BENCHES
+    cores = tuple(args.cores.split(",")) if args.cores \
+        else DEFAULT_CORES
+    bsas = tuple(args.bsas.split(",")) if args.bsas else DEFAULT_BSAS
+    scale = args.scale if args.scale is not None else DEFAULT_SCALE
+    try:
+        payload = run_fidelity_sweep(
+            benchmarks=benches, cores=cores, bsas=bsas,
+            scale=scale, workers=args.workers,
+            progress=lambda n: print("  ...", n, file=sys.stderr))
+    except KeyError as exc:
+        raise CLIError(str(exc)) from None
+    print(format_fidelity(payload), file=sys.stderr)
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        found = latest_fidelity(args.out_dir)
+        baseline_path = str(found) if found is not None else None
+        if baseline_path is None:
+            print("[validate] no FIDELITY_*.json baseline found; "
+                  "gating against the absolute ceilings only",
+                  file=sys.stderr)
+    if baseline_path:
+        try:
+            baseline = load_fidelity(baseline_path)
+        except (OSError, ValueError) as exc:
+            raise CLIError(
+                f"cannot read baseline {baseline_path}: {exc}"
+            ) from None
+    failures = check_fidelity(payload, baseline,
+                              tolerance=args.tolerance)
+    for failure in failures:
+        print(f"[validate] FIDELITY FAILURE: {failure}",
+              file=sys.stderr)
+    if not failures:
+        against = f" vs {baseline_path}" if baseline_path \
+            else " (absolute ceilings)"
+        print(f"[validate] fidelity gate passed{against}",
+              file=sys.stderr)
+
+    if args.max_error is not None:
+        arbiter = ModelArbiter.from_payload(payload, args.max_error)
+        print(f"[validate] arbitration under --max-error "
+              f"{args.max_error}:", file=sys.stderr)
+        print(render_table(arbitration_table(arbiter.to_spec(),
+                                             bsas=bsas)),
+              file=sys.stderr)
+
+    if args.no_write:
+        print(dumps_fidelity(payload), end="")
+    else:
+        path = write_fidelity(payload, args.out_dir)
+        print(f"[validate] wrote {path}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def build_parser():
@@ -393,6 +493,14 @@ def build_parser():
                    default=None,
                    help="timing-engine implementation (byte-identical "
                         "results; default: $REPRO_ENGINE or auto)")
+    p.add_argument("--max-error", type=float, default=None,
+                   help="bounded-error model arbitration: evaluate "
+                        "each BSA with the cheapest model whose "
+                        "measured fidelity error stays under this "
+                        "budget (bounds from --fidelity-file)")
+    p.add_argument("--fidelity-file", default=None,
+                   help="FIDELITY_<date>.json with measured error "
+                        "bounds (default: newest checked-in one)")
 
     p = sub.add_parser("bench",
                        help="perf-trajectory smoke benchmark")
@@ -420,8 +528,43 @@ def build_parser():
                    help="fractional ratio drop tolerated before a "
                         "regression is flagged (default 0.30)")
 
-    p = sub.add_parser("validate", help="Table 1 validation")
-    p.add_argument("--scale", type=float, default=0.3)
+    p = sub.add_parser("validate",
+                       help="Table 1 validation / fidelity sweep")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default 0.3, or 0.2 with "
+                        "--fidelity)")
+    p.add_argument("--fidelity", action="store_true",
+                   help="run the systematic fidelity sweep and emit "
+                        "the canonical FIDELITY_<date>.json instead "
+                        "of the Table 1 summary")
+    p.add_argument("--benches", default=None,
+                   help="comma-separated benchmarks for --fidelity "
+                        "(default: the checked-in slice)")
+    p.add_argument("--cores", default=None,
+                   help="comma-separated cores for the engine-vs-"
+                        "cycle tier (default IO2,OOO2,OOO4)")
+    p.add_argument("--bsas", default=None,
+                   help="comma-separated BSAs for the fast-vs-"
+                        "detailed tier (default: all four)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for --fidelity (payload "
+                        "is byte-identical for any value)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for FIDELITY_<date>.json "
+                        "(default .)")
+    p.add_argument("--no-write", action="store_true",
+                   help="print the payload to stdout instead of "
+                        "writing FIDELITY_<date>.json")
+    p.add_argument("--baseline", default=None,
+                   help="FIDELITY file to gate against ('auto' picks "
+                        "the newest FIDELITY_*.json in --out-dir); "
+                        "any regression exits 1")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="fractional error growth tolerated vs the "
+                        "baseline (default 0.25)")
+    p.add_argument("--max-error", type=float, default=None,
+                   help="also print the model-arbitration decisions "
+                        "this error budget would produce")
 
     p = sub.add_parser("serve", help="HTTP evaluation service")
     p.add_argument("--host", default="127.0.0.1")

@@ -26,7 +26,7 @@ import time
 
 
 def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
-              with_amdahl=True, engine=None):
+              with_amdahl=True, engine=None, arbitration=None):
     """Canonical picklable task payload for one benchmark evaluation.
 
     This is the codec shared by every consumer of the worker boundary:
@@ -43,6 +43,12 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
     *in the worker*, so a pool mixing numpy-ful and numpy-less hosts
     still evaluates every task.  The engine is deliberately not part
     of the cache key: both engines produce byte-identical records.
+
+    ``arbitration`` is a :meth:`~repro.fidelity.arbiter.ModelArbiter.
+    to_spec` dict (or ``None``).  Unlike ``engine`` it changes
+    results, so it travels in the task AND in the cache key — but the
+    key is only present when arbitration is on, keeping the disabled
+    codec byte-for-byte identical to the historical one.
     """
     from repro.tdg.fastpath import ENGINE_CHOICES
 
@@ -51,7 +57,7 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
         raise ValueError(
             f"unknown engine {engine!r} (choose from "
             f"{', '.join(ENGINE_CHOICES)})")
-    return {
+    task = {
         "name": name,
         "core_names": tuple(core_names),
         "subsets": tuple(tuple(s) for s in subsets),
@@ -60,6 +66,11 @@ def make_task(name, core_names, subsets, scale=1.0, max_invocations=8,
         "with_amdahl": bool(with_amdahl),
         "engine": engine,
     }
+    if arbitration is not None:
+        if hasattr(arbitration, "to_spec"):
+            arbitration = arbitration.to_spec()
+        task["arbitration"] = arbitration
+    return task
 
 
 def evaluate_task(task):
@@ -93,6 +104,7 @@ def evaluate_task(task):
             max_invocations=task["max_invocations"],
             with_amdahl=task["with_amdahl"],
             engine=task.get("engine"),
+            arbitration=task.get("arbitration"),
         )
 
     started = time.perf_counter()

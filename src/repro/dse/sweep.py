@@ -240,6 +240,12 @@ class SweepResult:
         self.subsets = tuple(subsets)
         self.results = {}    # benchmark name -> BenchmarkResult
         self.stats = None    # SweepStats, set by run_sweep
+        # Arbiter spec the sweep ran under, or None.  Deliberately not
+        # part of the canonical artifact (sweep_to_payload reads only
+        # core_names/subsets/results): an arbitration-off sweep stays
+        # byte-identical to the historical output, and an arbitrated
+        # one is annotated for the report layer only.
+        self.arbitration = None
 
     def add(self, record):
         self.results[record.name] = record
@@ -257,7 +263,7 @@ class SweepResult:
 def evaluate_one_benchmark(name, core_names=DSE_CORES,
                            subsets=ALL_SUBSETS, scale=1.0,
                            max_invocations=8, with_amdahl=True,
-                           engine=None):
+                           engine=None, arbitration=None):
     """Evaluate one benchmark; the per-benchmark unit of the sweep.
 
     Builds the TDG, costs every (core, BSA) pair, and composes every
@@ -265,13 +271,25 @@ def evaluate_one_benchmark(name, core_names=DSE_CORES,
     this is what makes per-benchmark results cacheable and the sweep
     shardable across processes.  *engine* picks the timing-engine
     implementation (byte-identical results; throughput only).
+
+    *arbitration* is a :meth:`~repro.fidelity.arbiter.ModelArbiter.
+    to_spec` dict (measured error bounds + budget): per-BSA model
+    modes are then decided by the benchmark's behavior class instead
+    of a global flag.  ``None`` (default) evaluates every BSA with its
+    fast model, byte-identical to the unarbitrated sweep.
     """
     with span("dse.evaluate_benchmark", benchmark=name, scale=scale):
         workload = WORKLOADS[name]
+        detailed = False
+        if arbitration is not None:
+            from repro.fidelity.arbiter import ModelArbiter
+            detailed = ModelArbiter.from_spec(arbitration) \
+                .detailed_flags(workload.category, ALL_BSAS)
         tdg = workload.construct_tdg(scale=scale)
         evaluation = evaluate_benchmark(
             tdg, core_names=core_names, bsa_names=ALL_BSAS,
-            max_invocations=max_invocations, name=name, engine=engine)
+            max_invocations=max_invocations, detailed=detailed,
+            name=name, engine=engine)
         record = BenchmarkResult(name, workload.suite,
                                  workload.category)
         for core in core_names:
@@ -292,7 +310,8 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
               scale=1.0, max_invocations=8, with_amdahl=True,
               progress=None, workers=1, cache_dir=None, use_cache=None,
               retry_policy=None, task_timeout=None,
-              max_pool_restarts=2, resume=False, engine=None):
+              max_pool_restarts=2, resume=False, engine=None,
+              arbitration=None):
     """Run the design-space exploration.
 
     Parameters
@@ -343,6 +362,14 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
         proven byte-identical, so the choice affects throughput only —
         it is deliberately excluded from the cache key, making cache
         entries interchangeable across engines.
+    arbitration:
+        A :meth:`~repro.fidelity.arbiter.ModelArbiter.to_spec` dict
+        (or an arbiter object): per-benchmark BSA model modes are
+        chosen by measured error bounds under the spec's budget.
+        Unlike *engine*, arbitration CAN change results, so it IS
+        part of the cache key and checkpoint signature — but only
+        when enabled: ``None`` (default) leaves keys, signatures and
+        sweep bytes identical to an unarbitrated run.
 
     Returns a :class:`SweepResult` whose ``stats`` attribute records
     per-benchmark timing, cache hit/miss counts and terminal
@@ -363,7 +390,7 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
             workers=workers, cache_dir=cache_dir, use_cache=use_cache,
             retry_policy=retry_policy, task_timeout=task_timeout,
             max_pool_restarts=max_pool_restarts, resume=resume,
-            engine=engine)
+            engine=engine, arbitration=arbitration)
         current.set(benchmarks=len(sweep), cached=sweep.stats.hits,
                     computed=sweep.stats.misses,
                     failed=len(sweep.stats.failures))
@@ -373,7 +400,7 @@ def run_sweep(names=None, core_names=DSE_CORES, subsets=ALL_SUBSETS,
 def _run_sweep(names, core_names, subsets, scale, max_invocations,
                with_amdahl, progress, workers, cache_dir, use_cache,
                retry_policy, task_timeout, max_pool_restarts, resume,
-               engine):
+               engine, arbitration):
     from repro.dse.cache import SweepCache, cache_key, default_cache_dir
     from repro.dse.parallel import make_task, run_tasks
     from repro.resilience.checkpoint import (
@@ -384,6 +411,8 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
     names = list(dict.fromkeys(names))      # dedupe, keep given order
     core_names = tuple(core_names)
     subsets = tuple(tuple(s) for s in subsets)
+    if arbitration is not None and hasattr(arbitration, "to_spec"):
+        arbitration = arbitration.to_spec()
 
     if use_cache is None:
         use_cache = cache_dir is not None
@@ -400,7 +429,8 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
         checkpoint = SweepCheckpoint(
             cache.root,
             sweep_signature(names, scale, core_names, subsets,
-                            max_invocations, with_amdahl))
+                            max_invocations, with_amdahl,
+                            arbitration=arbitration))
         if resume:
             checkpoint.load()       # may be absent: cold resume is ok
 
@@ -416,7 +446,8 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
         if cache is not None:
             started = time.perf_counter()
             keys[name] = cache_key(name, scale, core_names, subsets,
-                                   max_invocations, with_amdahl)
+                                   max_invocations, with_amdahl,
+                                   arbitration=arbitration)
             payload = cache.load(keys[name])
             if payload is not None:
                 payloads[name] = payload
@@ -435,7 +466,7 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
         pending.append(make_task(
             name, core_names, subsets, scale=scale,
             max_invocations=max_invocations, with_amdahl=with_amdahl,
-            engine=engine))
+            engine=engine, arbitration=arbitration))
 
     def on_result(name, payload, elapsed, obs_payload=None):
         payloads[name] = payload
@@ -484,4 +515,5 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
     stats.entries.sort(key=lambda e: e["name"])
     stats.failures.sort(key=lambda f: f["name"])
     sweep.stats = stats
+    sweep.arbitration = arbitration
     return sweep

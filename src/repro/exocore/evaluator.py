@@ -73,8 +73,15 @@ def evaluate_benchmark(tdg, core_names=("IO2", "OOO2", "OOO4", "OOO6"),
     timing engine (``"auto"``/``"object"``/``"fast"``, see
     :func:`repro.tdg.fastpath.resolve_engine`); the engines are
     byte-identical, so the choice only affects throughput.
+
+    *detailed* is either one flag for every BSA or a per-BSA mapping
+    ``{bsa: bool}`` (a missing entry means fast) — the form the
+    :class:`~repro.fidelity.arbiter.ModelArbiter` produces when it
+    upgrades only the models whose measured error exceeds the budget.
     """
     engine = resolve_engine(engine)
+    if not isinstance(detailed, dict):
+        detailed = {bsa: bool(detailed) for bsa in bsa_names}
     with span("exocore.evaluate", benchmark=name or tdg.program.name):
         ctx = AnalysisContext(tdg)
         evaluation = BenchmarkEvaluation(name or tdg.program.name, ctx)
@@ -116,7 +123,8 @@ def evaluate_benchmark(tdg, core_names=("IO2", "OOO2", "OOO4", "OOO6"),
 
         # ---- accelerated estimates --------------------------------------
         for bsa in bsa_names:
-            model = BSA_REGISTRY[bsa](detailed=detailed)
+            model = BSA_REGISTRY[bsa](
+                detailed=detailed.get(bsa, False))
             with span("accel.find_candidates", bsa=bsa) as current:
                 plans = model.find_candidates(ctx)
                 current.set(candidates=len(plans))

@@ -1,0 +1,115 @@
+"""Bounded-error model arbitration.
+
+The fidelity sweep measures, per (BSA, behavior class), the worst
+error the fast (windowed) model commits against its detailed
+reference.  The :class:`ModelArbiter` turns those measured bounds into
+a per-evaluation decision: *use the cheapest model whose measured
+error stays under the caller's budget*.  A sweep run with
+``--max-error 0.1`` evaluates most regular-behavior points with the
+fast model (measured error well under 10%) and silently upgrades the
+pairs the sweep showed to be unreliable to the detailed mode — the
+error budget becomes a first-class sweep parameter instead of a
+hard-coded ``detailed=`` flag.
+
+The arbiter is deliberately dumb state: measured bounds + a budget,
+fully described by :meth:`to_spec`'s plain JSON dict.  That spec — not
+the object — is what travels through the parallel task codec, the
+content-addressed cache key, and the service request body, so
+arbitrated results cache correctly and a worker can reconstruct the
+arbiter without re-reading the FIDELITY artifact.
+
+Conservatism: an unknown (BSA, class) pair — never measured by the
+sweep — always gets the *default* model (detailed).  Bounds are
+promises, and absence of evidence is not a bound.
+"""
+
+
+class ModelArbiter:
+    """Pick fast vs detailed per (BSA, behavior class) under a budget.
+
+    *bounds* is the FIDELITY artifact's ``bounds`` mapping
+    (``{bsa: {class: worst_error}}``); *max_error* the caller's
+    fractional error budget.
+    """
+
+    __slots__ = ("bounds", "max_error", "default")
+
+    def __init__(self, bounds, max_error, default="detailed"):
+        if max_error < 0:
+            raise ValueError(f"max_error {max_error!r} must be >= 0")
+        if default not in ("fast", "detailed"):
+            raise ValueError(f"unknown default model {default!r}")
+        self.bounds = {str(bsa): {str(cls): float(bound)
+                                  for cls, bound in by_class.items()}
+                       for bsa, by_class in (bounds or {}).items()}
+        self.max_error = float(max_error)
+        self.default = default
+
+    # -- decisions -----------------------------------------------------
+    def bound(self, bsa, category):
+        """Measured worst fast-model error, or ``None`` if unmeasured."""
+        return self.bounds.get(bsa, {}).get(category)
+
+    def choose(self, bsa, category):
+        """``"fast"`` iff the measured bound fits the budget."""
+        bound = self.bound(bsa, category)
+        if bound is not None and bound <= self.max_error:
+            return "fast"
+        return self.default
+
+    def detailed_flags(self, category, bsas):
+        """Per-BSA ``detailed=`` flags for one benchmark's class."""
+        return {bsa: self.choose(bsa, category) == "detailed"
+                for bsa in bsas}
+
+    def decisions(self, bsas, categories=None):
+        """Decision rows for the report table.
+
+        Returns ``[{bsa, class, bound, model}, ...]`` sorted by
+        (bsa, class); *bound* is ``None`` for unmeasured pairs.
+        """
+        if categories is None:
+            from repro.fidelity.sweep import BEHAVIOR_CLASSES
+            categories = BEHAVIOR_CLASSES
+        return [{"bsa": bsa, "class": category,
+                 "bound": self.bound(bsa, category),
+                 "model": self.choose(bsa, category)}
+                for bsa in sorted(bsas)
+                for category in sorted(categories)]
+
+    # -- codec ---------------------------------------------------------
+    def to_spec(self):
+        """Plain JSON dict fully describing this arbiter.
+
+        This is the canonical wire/cache form: sorted at every level,
+        so equal arbiters serialize to equal cache-key material.
+        """
+        return {
+            "bounds": {bsa: {cls: self.bounds[bsa][cls]
+                             for cls in sorted(self.bounds[bsa])}
+                       for bsa in sorted(self.bounds)},
+            "max_error": self.max_error,
+            "default": self.default,
+        }
+
+    @classmethod
+    def from_spec(cls, spec):
+        return cls(spec.get("bounds", {}),
+                   spec["max_error"],
+                   default=spec.get("default", "detailed"))
+
+    @classmethod
+    def from_payload(cls, payload, max_error, default="detailed"):
+        """Arbiter from a loaded FIDELITY payload's measured bounds."""
+        return cls(payload.get("bounds", {}), max_error,
+                   default=default)
+
+    def __eq__(self, other):
+        if not isinstance(other, ModelArbiter):
+            return NotImplemented
+        return self.to_spec() == other.to_spec()
+
+    def __repr__(self):
+        pairs = sum(len(v) for v in self.bounds.values())
+        return (f"<ModelArbiter max_error={self.max_error} "
+                f"default={self.default} bounds={pairs} pairs>")

@@ -1,0 +1,144 @@
+"""Error-distribution statistics for the fidelity sweep.
+
+:class:`ErrorStats` accumulates relative model errors and summarizes
+them as mean / p50 / p95 / max.  It is built for the same discipline
+as the obs metrics registry: snapshots are JSON-able, merges are
+commutative and associative (the sweep merges per-benchmark shards in
+arbitrary completion order and must land on identical bytes), and
+quantiles are computed from the full sorted sample set, so a merged
+distribution is exactly the distribution of the union — no
+bucket-approximation drift between worker counts.
+
+Infinite errors (a :class:`~repro.validation.ValidationPoint` with a
+zero reference but nonzero prediction) are tracked separately: they
+poison ``mean``/``max`` loudly (``inf``) while ``quantile`` still
+describes the finite part of the distribution.
+"""
+
+import math
+
+
+class ErrorStats:
+    """Mergeable summary statistics over a set of error samples."""
+
+    __slots__ = ("_values", "_sorted", "infinite")
+
+    def __init__(self, values=(), infinite=0):
+        self._values = [float(v) for v in values
+                        if not math.isinf(float(v))]
+        self.infinite = infinite + sum(
+            1 for v in values if math.isinf(float(v)))
+        self._sorted = False
+
+    # -- accumulation --------------------------------------------------
+    def add(self, value):
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("error samples must not be NaN")
+        if math.isinf(value):
+            self.infinite += 1
+            return
+        self._values.append(value)
+        self._sorted = False
+
+    def merge(self, other):
+        """Commutative union: ``a.merge(b)`` == ``b.merge(a)``."""
+        merged = ErrorStats(self._values,
+                            infinite=self.infinite + other.infinite)
+        merged._values.extend(other._values)
+        merged._sorted = False
+        return merged
+
+    # -- summary -------------------------------------------------------
+    @property
+    def count(self):
+        return len(self._values) + self.infinite
+
+    @property
+    def mean(self):
+        if self.infinite:
+            return float("inf")
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def quantile(self, q):
+        """Linear-interpolated quantile of the *finite* samples.
+
+        Monotone in *q* by construction (interpolation over a sorted
+        sample vector); ``quantile(0)`` is the min, ``quantile(1)``
+        the finite max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        values = self._values
+        position = q * (len(values) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return values[low]
+        fraction = position - low
+        return values[low] * (1.0 - fraction) + values[high] * fraction
+
+    @property
+    def p50(self):
+        return self.quantile(0.5)
+
+    @property
+    def p95(self):
+        return self.quantile(0.95)
+
+    @property
+    def max(self):
+        if self.infinite:
+            return float("inf")
+        if not self._values:
+            return 0.0
+        return max(self._values)
+
+    # -- (de)serialization ---------------------------------------------
+    def to_json(self, digits=6):
+        """Summary dict (rounded; for the FIDELITY artifact)."""
+        return {
+            "count": self.count,
+            "mean": _round(self.mean, digits),
+            "p50": _round(self.p50, digits),
+            "p95": _round(self.p95, digits),
+            "max": _round(self.max, digits),
+            "infinite": self.infinite,
+        }
+
+    def snapshot(self):
+        """Lossless sample snapshot; mergeable across processes."""
+        return {"values": sorted(self._values),
+                "infinite": self.infinite}
+
+    @classmethod
+    def from_snapshot(cls, snapshot):
+        return cls(snapshot.get("values", ()),
+                   infinite=snapshot.get("infinite", 0))
+
+    def __repr__(self):
+        return (f"<ErrorStats n={self.count} mean={self.mean:.4f} "
+                f"p95={self.p95:.4f} max={self.max:.4f}>")
+
+
+def _round(value, digits):
+    """Round for the artifact; inf survives json.dumps as Infinity, so
+    map it to the string sentinel the schema documents."""
+    if math.isinf(value):
+        return "inf"
+    return round(value, digits)
+
+
+def stats_of(points):
+    """:class:`ErrorStats` over an iterable of ValidationPoints."""
+    stats = ErrorStats()
+    for point in points:
+        stats.add(point.error)
+    return stats

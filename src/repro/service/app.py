@@ -120,6 +120,22 @@ def _normalize_params(body):
         raise BadRequest(f"unknown engine {engine!r} "
                          f"(known: {', '.join(ENGINE_CHOICES)})")
 
+    # Arbitration, unlike engine, changes results: the spec is part of
+    # the task AND the cache key (only when present, so unarbitrated
+    # requests keep their historical keys warm).
+    arbitration = body.get("arbitration")
+    if arbitration is not None:
+        if not isinstance(arbitration, dict) \
+                or "max_error" not in arbitration:
+            raise BadRequest("'arbitration' must be a ModelArbiter "
+                             "spec object with 'max_error'")
+        from repro.fidelity import ModelArbiter
+        try:
+            arbitration = ModelArbiter.from_spec(arbitration).to_spec()
+        except (TypeError, ValueError, KeyError) as exc:
+            raise BadRequest(
+                f"bad arbitration spec: {exc}") from exc
+
     return {
         "core_names": tuple(cores),
         "subsets": tuple(tuple(s) for s in subsets),
@@ -127,6 +143,7 @@ def _normalize_params(body):
         "max_invocations": max_invocations,
         "with_amdahl": bool(body.get("with_amdahl", True)),
         "engine": engine,
+        "arbitration": arbitration,
     }
 
 
@@ -184,7 +201,8 @@ class EvaluationService:
         task = make_task(name, **params)
         key = cache_key(name, params["scale"], params["core_names"],
                         params["subsets"], params["max_invocations"],
-                        params["with_amdahl"])
+                        params["with_amdahl"],
+                        arbitration=params.get("arbitration"))
         return task, key
 
     async def _evaluate_keyed(self, task, key, blocking=False):

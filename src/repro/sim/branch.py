@@ -58,3 +58,31 @@ class GSharePredictor(BimodalPredictor):
         self._history = ((self._history << 1) | int(taken)) \
             & self._history_mask
         return correct
+
+
+def predictor_for_core(config):
+    """Branch predictor sized for one core configuration.
+
+    Trace annotations (mispredict flags) are recorded once under a
+    *source* core and then reused to predict other targets (the
+    paper's Table 1 "OOOx -> OOOy" experiment); the predictor is the
+    part of that recording that genuinely depends on the source
+    machine.  Wider speculative cores invest in larger history
+    structures, narrow ones in smaller, and in-order cores in a plain
+    bimodal table.  ``None`` (or the default OOO2-class sizing) yields
+    a predictor identical to ``GSharePredictor()``, so existing traces
+    are unchanged unless a source core is requested explicitly.
+    """
+    if config is None:
+        return GSharePredictor()
+    if config.in_order:
+        return BimodalPredictor(table_bits=10)
+    if config.width <= 1:
+        bits = 10
+    elif config.width <= 2:
+        bits = 12
+    elif config.width <= 4:
+        bits = 13
+    else:
+        bits = 14
+    return GSharePredictor(table_bits=bits, history_bits=bits)

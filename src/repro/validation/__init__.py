@@ -13,12 +13,19 @@ Two experiments, mirroring the paper's structure:
 """
 
 from repro.validation.harness import (
-    ValidationPoint, cross_validate_cores, validate_accelerator,
-    TABLE1_ROWS, table1,
+    ACCEL_BASE_CORE, ACCEL_VALIDATION_BENCHES,
+    CROSS_VALIDATION_BENCHES, TABLE1_ROWS, ValidationPoint,
+    accelerator_point, core_point, cross_validate_cores, table1,
+    validate_accelerator,
 )
 
 __all__ = [
+    "ACCEL_BASE_CORE",
+    "ACCEL_VALIDATION_BENCHES",
+    "CROSS_VALIDATION_BENCHES",
     "ValidationPoint",
+    "accelerator_point",
+    "core_point",
     "cross_validate_cores",
     "validate_accelerator",
     "TABLE1_ROWS",

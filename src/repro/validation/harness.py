@@ -50,8 +50,15 @@ class ValidationPoint:
 
     @property
     def error(self):
+        """Relative error vs the reference.
+
+        A zero reference is a degenerate point: if the prediction is
+        also zero the models agree exactly (0.0); if it is not, the
+        disagreement is unbounded and the sentinel is ``inf`` — never
+        a silent 0.0 false-pass that would vanish into a mean.
+        """
         if not self.reference:
-            return 0.0
+            return 0.0 if not self.predicted else float("inf")
         return abs(self.predicted - self.reference) / abs(self.reference)
 
     def __repr__(self):
@@ -66,6 +73,32 @@ def _mean_error(points):
     return sum(p.error for p in points) / len(points)
 
 
+def core_point(name, target, tdg=None, scale=0.3, source_core=None):
+    """One core cross-validation point: engine vs cycle simulator.
+
+    Builds (or reuses) the benchmark's TDG — annotated under
+    *source_core* when given — times it under the *target* core config
+    with the TDG engine, and re-times it with the independent cycle
+    simulator.  Returns ``(ipc_point, ipe_point)``.
+    """
+    target = core_by_name(target) if isinstance(target, str) else target
+    if tdg is None:
+        tdg = WORKLOADS[name].construct_tdg(scale=scale,
+                                            source_core=source_core)
+    stream = tdg.trace.instructions
+    predicted = TimingEngine(target).run(stream)
+    reference = CycleSimulator(target).run(stream)
+    ipc_point = ValidationPoint(name, predicted.ipc, reference.ipc)
+    # IPE: uops per unit energy; energy model shared, so IPE error
+    # tracks the cycle (leakage) discrepancy.
+    energy_model = EnergyModel(target)
+    e_pred = energy_model.evaluate(stream, predicted.cycles).total_nj
+    e_ref = energy_model.evaluate(stream, reference.cycles).total_nj
+    ipe_point = ValidationPoint(
+        name, len(stream) / e_pred, len(stream) / e_ref)
+    return ipc_point, ipe_point
+
+
 def cross_validate_cores(source_core, target_core,
                          benchmarks=CROSS_VALIDATION_BENCHES,
                          scale=0.3):
@@ -73,28 +106,71 @@ def cross_validate_cores(source_core, target_core,
     source configuration predict the target configuration; reference
     is the independent cycle simulator.
 
+    The source core shapes the recorded trace through its annotation
+    models (predictor sizing, see
+    :meth:`repro.workloads.base.Workload.construct_tdg`), so the
+    "OOO8->1" and "OOO1->8" rows genuinely run on different traces.
+
     Returns (ipc_points, ipe_points).
     """
-    del source_core  # trace generation is config-independent here;
-    #                  kept in the signature to mirror the experiment.
-    target = core_by_name(target_core)
     ipc_points = []
     ipe_points = []
     for name in benchmarks:
-        tdg = WORKLOADS[name].construct_tdg(scale=scale)
-        stream = tdg.trace.instructions
-        predicted = TimingEngine(target).run(stream)
-        reference = CycleSimulator(target).run(stream)
-        ipc_points.append(ValidationPoint(
-            name, predicted.ipc, reference.ipc))
-        # IPE: uops per unit energy; energy model shared, so IPE error
-        # tracks the cycle (leakage) discrepancy.
-        energy_model = EnergyModel(target)
-        e_pred = energy_model.evaluate(stream, predicted.cycles).total_nj
-        e_ref = energy_model.evaluate(stream, reference.cycles).total_nj
-        ipe_points.append(ValidationPoint(
-            name, len(stream) / e_pred, len(stream) / e_ref))
+        ipc_point, ipe_point = core_point(
+            name, target_core, scale=scale, source_core=source_core)
+        ipc_points.append(ipc_point)
+        ipe_points.append(ipe_point)
     return ipc_points, ipe_points
+
+
+def accelerator_point(bsa, name, ctx, base_core=None,
+                      max_invocations=6):
+    """One fast-vs-detailed point for *bsa* on one benchmark's context.
+
+    Computes relative speedup and energy reduction over the base core,
+    once with the fast (windowed) model and once with the detailed
+    reference mode.  Returns ``(speedup_point, energy_point)`` or
+    ``None`` when the BSA finds no profitable region in the benchmark.
+    """
+    core = core_by_name(base_core or ACCEL_BASE_CORE[bsa])
+    tdg = ctx.tdg
+    fast = BSA_REGISTRY[bsa](detailed=False)
+    slow = BSA_REGISTRY[bsa](detailed=True)
+    plans = fast.find_candidates(ctx)
+    if not plans:
+        return None
+    energy_model = ctx.energy_model(core)
+    base_cycles = 0
+    base_energy = 0.0
+    fast_cycles = slow_cycles = 0
+    fast_energy = slow_energy = 0.0
+    for key, plan in plans.items():
+        intervals = ctx.intervals[key]
+        for start, end in intervals[:max_invocations]:
+            stream = tdg.trace.instructions[start:end]
+            result = TimingEngine(core).run(stream)
+            base_cycles += result.cycles
+            base_energy += energy_model.evaluate(
+                stream, result.cycles).total_pj
+        f = fast.evaluate_region(ctx, plan, core,
+                                 max_invocations=max_invocations)
+        s = slow.evaluate_region(ctx, plan, core,
+                                 max_invocations=max_invocations)
+        scale_back = min(len(intervals), max_invocations) \
+            / len(intervals)
+        fast_cycles += f.cycles * scale_back
+        slow_cycles += s.cycles * scale_back
+        fast_energy += f.energy_pj * scale_back
+        slow_energy += s.energy_pj * scale_back
+    if not (fast_cycles and slow_cycles):
+        return None
+    speedup_point = ValidationPoint(
+        name, base_cycles / fast_cycles, base_cycles / slow_cycles)
+    energy_point = ValidationPoint(
+        name, slow_energy and fast_energy
+        and base_energy / fast_energy,
+        base_energy / slow_energy)
+    return speedup_point, energy_point
 
 
 def validate_accelerator(bsa, benchmarks=None, base_core=None,
@@ -107,48 +183,17 @@ def validate_accelerator(bsa, benchmarks=None, base_core=None,
     (speedup_points, energy_points).
     """
     benchmarks = benchmarks or ACCEL_VALIDATION_BENCHES[bsa]
-    core = core_by_name(base_core or ACCEL_BASE_CORE[bsa])
     speedup_points = []
     energy_points = []
     for name in benchmarks:
         tdg = WORKLOADS[name].construct_tdg(scale=scale)
         ctx = AnalysisContext(tdg)
-        fast = BSA_REGISTRY[bsa](detailed=False)
-        slow = BSA_REGISTRY[bsa](detailed=True)
-        plans = fast.find_candidates(ctx)
-        if not plans:
+        point = accelerator_point(bsa, name, ctx, base_core=base_core,
+                                  max_invocations=max_invocations)
+        if point is None:
             continue
-        energy_model = ctx.energy_model(core)
-        base_cycles = 0
-        base_energy = 0.0
-        fast_cycles = slow_cycles = 0
-        fast_energy = slow_energy = 0.0
-        for key, plan in plans.items():
-            intervals = ctx.intervals[key]
-            for start, end in intervals[:max_invocations]:
-                stream = tdg.trace.instructions[start:end]
-                result = TimingEngine(core).run(stream)
-                base_cycles += result.cycles
-                base_energy += energy_model.evaluate(
-                    stream, result.cycles).total_pj
-            f = fast.evaluate_region(ctx, plan, core,
-                                     max_invocations=max_invocations)
-            s = slow.evaluate_region(ctx, plan, core,
-                                     max_invocations=max_invocations)
-            scale_back = min(len(intervals), max_invocations) \
-                / len(intervals)
-            fast_cycles += f.cycles * scale_back
-            slow_cycles += s.cycles * scale_back
-            fast_energy += f.energy_pj * scale_back
-            slow_energy += s.energy_pj * scale_back
-        if not (fast_cycles and slow_cycles):
-            continue
-        speedup_points.append(ValidationPoint(
-            name, base_cycles / fast_cycles, base_cycles / slow_cycles))
-        energy_points.append(ValidationPoint(
-            name, slow_energy and fast_energy
-            and base_energy / fast_energy,
-            base_energy / slow_energy))
+        speedup_points.append(point[0])
+        energy_points.append(point[1])
     return speedup_points, energy_points
 
 

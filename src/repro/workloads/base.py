@@ -42,12 +42,29 @@ class Workload:
                 scale if scale is not None else self.scale)
             return builder.build()
 
-    def construct_tdg(self, scale=None, max_instructions=4_000_000):
-        """Build, run the simulator, and return the TDG."""
+    def construct_tdg(self, scale=None, max_instructions=4_000_000,
+                      source_core=None):
+        """Build, run the simulator, and return the TDG.
+
+        *source_core* (a :class:`~repro.core_model.config.CoreConfig`
+        or preset name) sizes the trace-annotation models for the
+        machine the trace is nominally recorded on — currently the
+        branch predictor (:func:`repro.sim.branch.predictor_for_core`).
+        ``None`` keeps the default models, byte-identical to the
+        historical trace.
+        """
         from repro.tdg.constructor import construct_tdg
+        predictor = None
+        if source_core is not None:
+            from repro.core_model import core_by_name
+            from repro.sim.branch import predictor_for_core
+            config = core_by_name(source_core) \
+                if isinstance(source_core, str) else source_core
+            predictor = predictor_for_core(config)
         program, memory = self.build(scale)
         return construct_tdg(program, memory,
-                             max_instructions=max_instructions)
+                             max_instructions=max_instructions,
+                             predictor=predictor)
 
     def __repr__(self):
         return f"<Workload {self.name} ({self.suite})>"

@@ -32,7 +32,26 @@ class TestCrossValidation:
         from repro.validation.harness import ValidationPoint
         p = ValidationPoint("x", 1.1, 1.0)
         assert p.error == pytest.approx(0.1)
-        assert ValidationPoint("x", 5.0, 0.0).error == 0.0
+        # Degenerate reference: exact agreement is 0, disagreement is
+        # the inf sentinel — never a silent 0.0 false-pass.
+        assert ValidationPoint("x", 0.0, 0.0).error == 0.0
+        assert ValidationPoint("x", 5.0, 0.0).error == float("inf")
+
+    def test_source_core_shapes_trace(self):
+        """The source core's predictor sizing changes the recorded
+        trace annotations: narrow and wide sources genuinely differ."""
+        from repro.workloads import WORKLOADS
+        mispredicts = {}
+        for source in ("OOO1", "OOO8", None):
+            tdg = WORKLOADS["181.mcf"].construct_tdg(
+                scale=0.2, source_core=source)
+            mispredicts[source] = sum(
+                1 for inst in tdg.trace.instructions
+                if getattr(inst, "mispredicted", False))
+        assert mispredicts["OOO1"] != mispredicts["OOO8"]
+        # The default trace (source None) is the historical one and
+        # must not drift just because wiring exists.
+        assert mispredicts[None] > 0
 
 
 class TestAcceleratorValidation:
