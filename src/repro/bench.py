@@ -35,12 +35,12 @@ can assert exactly that.
 """
 
 import json
-import os
-import subprocess
 import time
-from datetime import date as _date
-from pathlib import Path
 
+from repro.artifacts import (
+    artifact_filename, commit as _commit, dumps_artifact,
+    latest_artifact, write_artifact,
+)
 from repro.obs import isolated, span
 
 #: Bump when the payload shape changes incompatibly.
@@ -65,25 +65,9 @@ STAGES = ("construct", "lower", "eval_object", "eval_fast",
 _RATIO_KEYS = ("single_eval", "cold_eval")
 
 
-def _commit():
-    """Best-effort revision id: $REPRO_COMMIT, else git, else unknown."""
-    env = os.environ.get("REPRO_COMMIT")
-    if env:
-        return env
-    root = Path(__file__).resolve().parents[2]
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"], cwd=root,
-            capture_output=True, text=True, timeout=10)
-        if out.returncode == 0:
-            return out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
-    return "unknown"
-
-
 def _bench_date():
-    return os.environ.get("REPRO_BENCH_DATE") or _date.today().isoformat()
+    from repro.artifacts import artifact_date
+    return artifact_date("REPRO_BENCH_DATE")
 
 
 def _min_span_ns(recorder, name):
@@ -208,8 +192,8 @@ def collect_bench(workload=DEFAULT_WORKLOAD, core=DEFAULT_CORE,
 # Canonical serialization and the BENCH_<date>.json convention.
 
 def dumps_bench(payload):
-    """Canonical serialization: sorted keys, 2-space indent, newline."""
-    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    """Canonical serialization (:func:`repro.artifacts.dumps_artifact`)."""
+    return dumps_artifact(payload)
 
 
 def canonical_fields(payload):
@@ -230,14 +214,13 @@ def canonical_fields(payload):
 
 
 def bench_filename(when=None):
-    return f"BENCH_{when or _bench_date()}.json"
+    return artifact_filename("BENCH", when, env_var="REPRO_BENCH_DATE")
 
 
 def write_bench(payload, directory="."):
     """Write the canonical BENCH_<date>.json; returns its path."""
-    path = Path(directory) / bench_filename(payload.get("date"))
-    path.write_text(dumps_bench(payload))
-    return path
+    return write_artifact(payload, "BENCH", directory,
+                          env_var="REPRO_BENCH_DATE")
 
 
 def load_bench(path):
@@ -247,8 +230,7 @@ def load_bench(path):
 
 def latest_bench(directory="."):
     """Newest checked-in BENCH_*.json by date-in-name, or ``None``."""
-    paths = sorted(Path(directory).glob("BENCH_*.json"))
-    return paths[-1] if paths else None
+    return latest_artifact("BENCH", directory)
 
 
 # ---------------------------------------------------------------------------

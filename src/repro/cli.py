@@ -7,6 +7,9 @@ trace NAME                simulate one benchmark, print trace stats
 run NAME                  evaluate one benchmark on ExoCores
 classify NAME             behavior classes of its loops (Fig. 6)
 sweep [NAMES...]          design-space exploration (Figs. 10-13)
+explore [NAMES...]        surrogate-assisted search of the extended
+                          design space (EXPLORE_*.json)
+cache export              dump the sweep cache as JSONL training records
 bench                     perf-trajectory smoke benchmark (BENCH_*.json)
 validate                  regenerate the Table 1 validation summary
 serve                     long-lived HTTP evaluation service
@@ -158,6 +161,37 @@ def _cmd_classify(args):
     return 0
 
 
+def _resolve_arbitration(max_error, fidelity_file, command):
+    """``--max-error``/``--fidelity-file`` -> arbitration spec or None.
+
+    Shared by ``repro sweep`` and ``repro explore``: both route exact
+    evaluations through the same engine, so both accept the same
+    bounded-error model-arbitration knobs.
+    """
+    if max_error is None:
+        if fidelity_file:
+            raise CLIError("--fidelity-file does nothing without "
+                           "--max-error")
+        return None
+    from repro.fidelity import (
+        ModelArbiter, latest_fidelity, load_fidelity,
+    )
+    fidelity_path = fidelity_file or latest_fidelity()
+    if fidelity_path is None:
+        raise CLIError(
+            "--max-error needs measured error bounds: no "
+            "FIDELITY_*.json found (run 'repro validate "
+            "--fidelity' first, or pass --fidelity-file)")
+    try:
+        fidelity = load_fidelity(fidelity_path)
+    except (OSError, ValueError) as exc:
+        raise CLIError(f"cannot read fidelity file "
+                       f"{fidelity_path}: {exc}") from None
+    print(f"[{command}] model arbitration on: bounds from "
+          f"{fidelity_path}, budget {max_error}", file=sys.stderr)
+    return ModelArbiter.from_payload(fidelity, max_error).to_spec()
+
+
 def _cmd_sweep(args):
     from repro.dse import run_sweep, fig10_table, fig12_table
     from repro.dse.report import (
@@ -187,30 +221,8 @@ def _cmd_sweep(args):
         retry_policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
     if args.resume and args.no_cache:
         raise CLIError("--resume needs the cache (drop --no-cache)")
-    arbitration = None
-    if args.max_error is not None:
-        from repro.fidelity import (
-            ModelArbiter, latest_fidelity, load_fidelity,
-        )
-        fidelity_path = args.fidelity_file or latest_fidelity()
-        if fidelity_path is None:
-            raise CLIError(
-                "--max-error needs measured error bounds: no "
-                "FIDELITY_*.json found (run 'repro validate "
-                "--fidelity' first, or pass --fidelity-file)")
-        try:
-            fidelity = load_fidelity(fidelity_path)
-        except (OSError, ValueError) as exc:
-            raise CLIError(f"cannot read fidelity file "
-                           f"{fidelity_path}: {exc}") from None
-        arbitration = ModelArbiter.from_payload(
-            fidelity, args.max_error).to_spec()
-        print(f"[sweep] model arbitration on: bounds from "
-              f"{fidelity_path}, budget {args.max_error}",
-              file=sys.stderr)
-    elif args.fidelity_file:
-        raise CLIError("--fidelity-file does nothing without "
-                       "--max-error")
+    arbitration = _resolve_arbitration(args.max_error,
+                                       args.fidelity_file, "sweep")
     sweep = run_sweep(names=names, scale=args.scale,
                       with_amdahl=False,
                       workers=args.workers,
@@ -262,8 +274,100 @@ def _cmd_sweep(args):
     print("\n== Fig 12: 64 design points ==")
     print(render_table(rows, columns=("design", "speedup",
                                       "energy_eff", "area")))
+    from repro.dse.report import frontier_table
+    print("\n== Pareto frontier (speedup x energy efficiency) ==")
+    print(render_table(frontier_table(rows),
+                       columns=("frontier_rank", "design", "speedup",
+                                "energy_eff", "area")))
     print("\n== energy-performance space ==")
     print(frontier_plot(rows))
+    return 0
+
+
+def _cmd_explore(args):
+    from repro.explore import (
+        dumps_explore, run_explore, write_explore,
+    )
+    from repro.explore.artifact import format_explore
+    from repro.explore.space import DesignSpace
+
+    benchmarks = tuple(args.names) if args.names else ("conv",)
+    if args.paper:
+        space = DesignSpace.paper(
+            max_invocations=(args.max_invocations,))
+    else:
+        space = DesignSpace()
+    arbitration = _resolve_arbitration(args.max_error,
+                                       args.fidelity_file, "explore")
+
+    train_records = None
+    if args.train_from:
+        import json
+        try:
+            with open(args.train_from) as handle:
+                train_records = [json.loads(line)
+                                 for line in handle if line.strip()]
+        except (OSError, ValueError) as exc:
+            raise CLIError(f"cannot read training records "
+                           f"{args.train_from}: {exc}") from None
+        print(f"[explore] warm-starting the surrogate from "
+              f"{len(train_records)} cache records", file=sys.stderr)
+
+    optional = {}
+    if args.explore_fraction is not None:
+        optional["explore_fraction"] = args.explore_fraction
+    if args.candidate_pool is not None:
+        optional["candidate_pool"] = args.candidate_pool
+    payload = run_explore(
+        space=space, benchmarks=benchmarks, budget=args.budget,
+        seed=args.seed, batch_size=args.batch_size, init=args.init,
+        scale=args.scale, workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=None if not args.no_cache else False,
+        engine=args.engine, arbitration=arbitration,
+        train_records=train_records,
+        progress=lambda spent, budget: print(
+            f"  ... {spent}/{budget} exact evaluations",
+            file=sys.stderr),
+        **optional)
+    print(format_explore(payload), file=sys.stderr)
+    if args.no_write:
+        print(dumps_explore(payload), end="")
+    else:
+        path = write_explore(payload, args.out_dir)
+        print(f"[explore] wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args):
+    from repro.dse.cache import (
+        SweepCache, default_cache_dir, export_records,
+    )
+    import json
+
+    root = args.cache_dir if args.cache_dir else default_cache_dir()
+    cache = SweepCache(root)
+    if args.cache_command != "export":
+        raise CLIError(f"unknown cache command {args.cache_command!r}")
+    handle = sys.stdout
+    if args.out:
+        handle = open(args.out, "w")
+    rows = 0
+    with_meta = 0
+    try:
+        for row in export_records(cache):
+            rows += 1
+            if row["benchmark"] is not None:
+                with_meta += 1
+            handle.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    destination = args.out if args.out else "stdout"
+    print(f"[cache] exported {rows} training records "
+          f"({with_meta} with evaluation meta) from {root} "
+          f"-> {destination}", file=sys.stderr)
     return 0
 
 
@@ -502,6 +606,74 @@ def build_parser():
                    help="FIDELITY_<date>.json with measured error "
                         "bounds (default: newest checked-in one)")
 
+    p = sub.add_parser("explore",
+                       help="surrogate-assisted design-space search")
+    p.add_argument("names", nargs="*",
+                   help="benchmarks to geomean over (default: conv)")
+    p.add_argument("--budget", type=int, default=64,
+                   help="exact-evaluation budget (default 64)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="exploration seed; same seed + budget -> "
+                        "byte-identical EXPLORE payload")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--paper", action="store_true",
+                   help="restrict to the 64-point Fig. 12 space "
+                        "(4 cores x 16 subsets, nominal frequency "
+                        "and sizing) instead of the full "
+                        "million-point space")
+    p.add_argument("--max-invocations", type=int, default=8,
+                   help="invocation window for --paper (default 8)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="exact evaluations per acquisition round "
+                        "(default: budget // 5)")
+    p.add_argument("--init", type=int, default=None,
+                   help="seed-sample size before the first surrogate "
+                        "fit (default: 3 * budget // 8)")
+    p.add_argument("--explore-fraction", type=float, default=None,
+                   help="fraction of each batch spent on the most "
+                        "uncertain candidates rather than the "
+                        "predicted frontier (default 0.5)")
+    p.add_argument("--candidate-pool", type=int, default=None,
+                   help="surrogate-ranked candidates per round "
+                        "(default 2048)")
+    p.add_argument("--train-from", default=None,
+                   help="JSONL records from 'repro cache export' to "
+                        "warm-start the surrogate")
+    p.add_argument("--workers", type=int, default=1,
+                   help="sweep-engine pool width (payload is "
+                        "byte-identical for any value)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="force cold exact evaluations")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-dse)")
+    p.add_argument("--engine", choices=("auto", "object", "fast"),
+                   default=None,
+                   help="timing-engine implementation (byte-identical "
+                        "results; default: $REPRO_ENGINE or auto)")
+    p.add_argument("--max-error", type=float, default=None,
+                   help="bounded-error model arbitration for the "
+                        "exact evaluations (see 'repro sweep')")
+    p.add_argument("--fidelity-file", default=None,
+                   help="FIDELITY_<date>.json with measured error "
+                        "bounds (default: newest checked-in one)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for EXPLORE_<date>.json (default .)")
+    p.add_argument("--no-write", action="store_true",
+                   help="print the payload to stdout instead of "
+                        "writing EXPLORE_<date>.json")
+
+    p = sub.add_parser("cache", help="sweep-cache maintenance")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    p = cache_sub.add_parser(
+        "export",
+        help="dump the cache as JSONL surrogate-training records")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-dse)")
+    p.add_argument("--out", default=None,
+                   help="output file (default: stdout)")
+
     p = sub.add_parser("bench",
                        help="perf-trajectory smoke benchmark")
     p.add_argument("--workload", default="conv",
@@ -606,6 +778,8 @@ def main(argv=None):
         "run": _cmd_run,
         "classify": _cmd_classify,
         "sweep": _cmd_sweep,
+        "explore": _cmd_explore,
+        "cache": _cmd_cache,
         "bench": _cmd_bench,
         "validate": _cmd_validate,
         "serve": _cmd_serve,

@@ -228,8 +228,17 @@ class SweepCache:
                 f"sweep cache {event} (lookups and recoveries)").inc()
         current_span.set(outcome=outcome)
 
-    def store(self, key, record):
-        """Atomically persist one benchmark record under *key*."""
+    def store(self, key, record, meta=None):
+        """Atomically persist one benchmark record under *key*.
+
+        *meta* (optional) is a small self-describing dict of the
+        evaluation inputs (benchmark name, scale, max_invocations,
+        engine hash, ...).  The content key alone cannot be inverted
+        back to its inputs, so without meta a cache entry is opaque;
+        with it, ``repro cache export`` can turn the cache into
+        surrogate training records.  Meta never participates in the
+        key and old entries without it still load normally.
+        """
         # Deterministic chaos hook: a ``torn:store=N`` fault truncates
         # this write mid-blob, simulating the torn entry a power cut
         # could leave behind (the quarantine path then recovers it).
@@ -238,6 +247,8 @@ class SweepCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": CACHE_FORMAT, "key": key, "record": record}
+        if meta is not None:
+            payload["meta"] = meta
         blob = json.dumps(payload, sort_keys=True)
         if consume_torn_store():
             blob = blob[:len(blob) // 2]
@@ -258,5 +269,76 @@ class SweepCache:
             raise
         return path
 
+    def iter_entries(self):
+        """Yield ``(key, payload)`` for every well-formed entry.
+
+        Sorted by key, so export output is deterministic for a given
+        cache population regardless of write order.  Quarantined,
+        corrupt and foreign-format files are skipped silently — this
+        is a read-only maintenance walk, not the hot load path.
+        """
+        if not self.root.is_dir():
+            return
+        paths = []
+        for shard in self.root.iterdir():
+            if not shard.is_dir() or shard.name == "quarantine":
+                continue
+            paths.extend(shard.glob("*.json"))
+        for path in sorted(paths, key=lambda p: p.stem):
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (ValueError, OSError):
+                continue
+            if not isinstance(payload, dict) \
+                    or payload.get("format") != CACHE_FORMAT:
+                continue
+            yield payload.get("key", path.stem), payload
+
     def __contains__(self, key):
         return self.path_for(key).exists()
+
+
+def export_records(cache, reference_core="IO2"):
+    """Training records from a sweep cache, one dict per oracle cell.
+
+    Each cached benchmark record holds one oracle schedule summary per
+    (core, BSA-subset) pair; each becomes one row with the evaluation
+    inputs from the entry's meta (``None`` for entries written before
+    meta existed — consumers like
+    :func:`repro.explore.loop.training_points_from_records` skip
+    those) and Fig. 12-convention metrics against *reference_core*.
+    Rows stream in (cache key, core, subset) order — deterministic for
+    a given cache population.
+    """
+    for key, payload in cache.iter_entries():
+        record = payload.get("record") or {}
+        meta = payload.get("meta") or {}
+        baseline = record.get("baseline") or {}
+        reference = baseline.get(reference_core)
+        for cell, summary in sorted(
+                (record.get("oracle") or {}).items()):
+            core, _, subset_key = cell.partition("|")
+            cycles = summary.get("cycles")
+            energy = summary.get("energy_pj")
+            speedup = None
+            energy_eff = None
+            if reference is not None and cycles is not None:
+                speedup = round(
+                    reference[0] / max(1.0, float(cycles)), 9)
+            if reference is not None and energy is not None:
+                energy_eff = round(
+                    reference[1] / max(1.0, float(energy)), 9)
+            yield {
+                "cache_key": key,
+                "benchmark": meta.get("benchmark"),
+                "scale": meta.get("scale"),
+                "max_invocations": meta.get("max_invocations"),
+                "engine": meta.get("engine"),
+                "core": core,
+                "subset": subset_key,
+                "cycles": cycles,
+                "energy_pj": energy,
+                "speedup": speedup,
+                "energy_eff": energy_eff,
+            }

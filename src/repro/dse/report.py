@@ -132,6 +132,57 @@ def fig15_table(sweep, core="OOO2", suite="mediabench"):
     return rows
 
 
+def pareto_frontier(rows, x_key="speedup", y_key="energy_eff",
+                    tie_key="design"):
+    """Non-dominated subset of *rows* when maximizing both metrics.
+
+    A row is dominated when another row is at least as good on both
+    axes and strictly better on one.  Duplicate coordinate pairs keep
+    exactly one representative (the smallest *tie_key*, or input order
+    when the key is absent), so the frontier is a set of distinct
+    operating points.  Returned rows are sorted by ascending *x_key*
+    (the order the paper's frontier plots use); the sort — and thus
+    the whole function — is deterministic for any input order.
+    """
+    def sort_key(indexed):
+        index, row = indexed
+        tie = row.get(tie_key)
+        return (-row[x_key], -row[y_key],
+                (str(tie),) if tie is not None else (), index)
+
+    frontier = []
+    best_y = None
+    seen = set()
+    # Descending x: a row is non-dominated iff its y strictly exceeds
+    # every y seen so far (single O(n log n) scan).
+    for _index, row in sorted(enumerate(rows), key=sort_key):
+        coords = (row[x_key], row[y_key])
+        if coords in seen:
+            continue
+        if best_y is None or row[y_key] > best_y:
+            frontier.append(row)
+            best_y = row[y_key]
+            seen.add(coords)
+    frontier.reverse()
+    return frontier
+
+
+def frontier_table(rows, x_key="speedup", y_key="energy_eff",
+                   tie_key="design"):
+    """Pareto-frontier rows for :func:`render_table`.
+
+    Filters *rows* (any dicts carrying *x_key*/*y_key*, e.g.
+    :func:`fig12_table` design points or ``repro explore`` records)
+    down to the speedup/energy-efficiency frontier and annotates each
+    survivor with its ``frontier_rank`` (1 = lowest speedup end).
+    Used by both ``repro sweep`` and ``repro explore`` output.
+    """
+    frontier = pareto_frontier(rows, x_key=x_key, y_key=y_key,
+                               tie_key=tie_key)
+    return [dict(row, frontier_rank=rank)
+            for rank, row in enumerate(frontier, start=1)]
+
+
 def sweep_stats_table(sweep_or_stats):
     """Per-benchmark progress rows for a sweep's :class:`SweepStats`.
 

@@ -473,7 +473,13 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
         # Persist immediately so a killed sweep resumes from every
         # benchmark that finished, not just the ones before a barrier.
         if cache is not None:
-            cache.store(keys[name], payload)
+            from repro.dse.cache import engine_version_hash
+            cache.store(keys[name], payload, meta={
+                "benchmark": name,
+                "scale": float(scale),
+                "max_invocations": int(max_invocations),
+                "engine": engine_version_hash(),
+            })
             checkpoint.mark_done(name, keys[name])
         stats.add(name, "computed", elapsed)
         if obs_payload is not None:

@@ -1,0 +1,32 @@
+"""Surrogate-assisted design-space exploration (``repro explore``).
+
+The paper's exhaustive sweep covers 64 design points; the real design
+space — every preset core x BSA subset x per-BSA sizing x DVFS state x
+invocation window — has over a million.  This package searches it with
+a small exact-evaluation budget:
+
+- :mod:`repro.explore.space` — the parameterized
+  :class:`DesignSpace`: canonical point encoding, index bijection,
+  seeded sampling, surrogate features;
+- :mod:`repro.explore.surrogate` — deterministic stdlib ridge
+  ensemble (prediction + bootstrap uncertainty);
+- :mod:`repro.explore.acquire` — predicted-Pareto + uncertainty batch
+  selection;
+- :mod:`repro.explore.evaluate` — exact evaluation through the sweep
+  engine and its content-addressed cache;
+- :mod:`repro.explore.loop` — the active-learning loop,
+  :func:`run_explore`;
+- :mod:`repro.explore.artifact` — the canonical
+  ``EXPLORE_<date>.json`` and its acceptance gate.
+"""
+
+from repro.explore.space import (                        # noqa: F401
+    DesignPoint, DesignSpace, FEATURE_NAMES, point_features,
+)
+from repro.explore.surrogate import SurrogateEnsemble    # noqa: F401
+from repro.explore.evaluate import ExactEvaluator        # noqa: F401
+from repro.explore.loop import run_explore               # noqa: F401
+from repro.explore.artifact import (                     # noqa: F401
+    check_explore, dumps_explore, frontier_recall, latest_explore,
+    load_explore, write_explore,
+)

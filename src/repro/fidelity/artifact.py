@@ -30,11 +30,11 @@ JSON ``Infinity``, which is not standard JSON).
 
 import json
 import math
-import os
-from datetime import date as _date
-from pathlib import Path
 
-from repro.bench import _commit
+from repro.artifacts import (
+    artifact_filename, canonical_fields as _strip_provenance,
+    dumps_artifact, latest_artifact, stamp, write_artifact,
+)
 
 #: Bump when the payload shape changes incompatibly.
 SCHEMA_VERSION = 1
@@ -49,49 +49,41 @@ ENGINE_MEAN_CEILING = 0.15
 ACCEL_MEAN_CEILING = 0.30
 
 
-def _fidelity_date():
-    return os.environ.get("REPRO_FIDELITY_DATE") \
-        or _date.today().isoformat()
-
-
 def make_payload(config, classes, points, summary, bounds):
     """Assemble the full payload around the sweep's computed parts."""
-    return {
-        "schema": SCHEMA_VERSION,
-        "commit": _commit(),
-        "date": _fidelity_date(),
+    payload = stamp(SCHEMA_VERSION, env_var="REPRO_FIDELITY_DATE")
+    payload.update({
         "config": config,
         "classes": classes,
         "points": points,
         "summary": summary,
         "bounds": bounds,
-    }
+    })
+    return payload
 
 
 # ---------------------------------------------------------------------------
 # Canonical serialization and the FIDELITY_<date>.json convention.
 
 def dumps_fidelity(payload):
-    """Canonical serialization: sorted keys, 2-space indent, newline."""
-    return json.dumps(payload, sort_keys=True, indent=2,
-                      allow_nan=False) + "\n"
+    """Canonical serialization (:func:`repro.artifacts.dumps_artifact`)."""
+    return dumps_artifact(payload)
 
 
 def canonical_fields(payload):
     """The reproducible subset: everything except provenance."""
-    return {k: v for k, v in payload.items()
-            if k not in ("commit", "date")}
+    return _strip_provenance(payload)
 
 
 def fidelity_filename(when=None):
-    return f"FIDELITY_{when or _fidelity_date()}.json"
+    return artifact_filename("FIDELITY", when,
+                             env_var="REPRO_FIDELITY_DATE")
 
 
 def write_fidelity(payload, directory="."):
     """Write the canonical FIDELITY_<date>.json; returns its path."""
-    path = Path(directory) / fidelity_filename(payload.get("date"))
-    path.write_text(dumps_fidelity(payload))
-    return path
+    return write_artifact(payload, "FIDELITY", directory,
+                          env_var="REPRO_FIDELITY_DATE")
 
 
 def load_fidelity(path):
@@ -104,10 +96,7 @@ def latest_fidelity(directory=None):
 
     Defaults to the repo root, where sweep artifacts are checked in.
     """
-    if directory is None:
-        directory = Path(__file__).resolve().parents[3]
-    paths = sorted(Path(directory).glob("FIDELITY_*.json"))
-    return paths[-1] if paths else None
+    return latest_artifact("FIDELITY", directory)
 
 
 # ---------------------------------------------------------------------------

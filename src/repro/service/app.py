@@ -123,18 +123,7 @@ def _normalize_params(body):
     # Arbitration, unlike engine, changes results: the spec is part of
     # the task AND the cache key (only when present, so unarbitrated
     # requests keep their historical keys warm).
-    arbitration = body.get("arbitration")
-    if arbitration is not None:
-        if not isinstance(arbitration, dict) \
-                or "max_error" not in arbitration:
-            raise BadRequest("'arbitration' must be a ModelArbiter "
-                             "spec object with 'max_error'")
-        from repro.fidelity import ModelArbiter
-        try:
-            arbitration = ModelArbiter.from_spec(arbitration).to_spec()
-        except (TypeError, ValueError, KeyError) as exc:
-            raise BadRequest(
-                f"bad arbitration spec: {exc}") from exc
+    arbitration = _normalize_arbitration(body)
 
     return {
         "core_names": tuple(cores),
@@ -145,6 +134,76 @@ def _normalize_params(body):
         "engine": engine,
         "arbitration": arbitration,
     }
+
+
+def _normalize_arbitration(body):
+    """Validate an optional ``arbitration`` spec; None when absent."""
+    arbitration = body.get("arbitration")
+    if arbitration is None:
+        return None
+    if not isinstance(arbitration, dict) \
+            or "max_error" not in arbitration:
+        raise BadRequest("'arbitration' must be a ModelArbiter "
+                         "spec object with 'max_error'")
+    from repro.fidelity import ModelArbiter
+    try:
+        return ModelArbiter.from_spec(arbitration).to_spec()
+    except (TypeError, ValueError, KeyError) as exc:
+        raise BadRequest(f"bad arbitration spec: {exc}") from exc
+
+
+def _normalize_explore(body):
+    """Validate a ``POST /v1/explore`` body into run_explore kwargs."""
+    from repro.explore.space import DesignSpace
+
+    benchmarks = body.get("benchmarks", ["conv"])
+    if (not isinstance(benchmarks, (list, tuple)) or not benchmarks
+            or not all(isinstance(n, str) for n in benchmarks)):
+        raise BadRequest("'benchmarks' must be a non-empty list of "
+                         "names")
+    _validate_benchmarks(benchmarks)
+
+    try:
+        budget = int(body.get("budget", 16))
+        seed = int(body.get("seed", 0))
+        scale = float(body.get("scale", 0.5))
+        max_invocations = int(body.get("max_invocations", 8))
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad numeric parameter: {exc}") from exc
+    if budget < 1:
+        raise BadRequest("'budget' must be >= 1")
+    if scale <= 0:
+        raise BadRequest("'scale' must be > 0")
+    if max_invocations < 1:
+        raise BadRequest("'max_invocations' must be >= 1")
+
+    space_kind = body.get("space", "paper")
+    if space_kind == "paper":
+        space = DesignSpace.paper(max_invocations=(max_invocations,))
+    elif space_kind == "full":
+        space = DesignSpace()
+    else:
+        raise BadRequest(f"unknown space {space_kind!r} "
+                         "(known: paper, full)")
+
+    kwargs = {
+        "space": space,
+        "benchmarks": tuple(benchmarks),
+        "budget": budget,
+        "seed": seed,
+        "scale": scale,
+        "arbitration": _normalize_arbitration(body),
+    }
+    for knob, kind in (("init", int), ("batch_size", int),
+                       ("explore_fraction", float)):
+        value = body.get(knob)
+        if value is not None:
+            try:
+                kwargs[knob] = kind(value)
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(
+                    f"bad {knob!r}: {exc}") from exc
+    return kwargs
 
 
 def _validate_benchmarks(names):
@@ -187,6 +246,7 @@ class EvaluationService:
         self.router = Router()
         self.router.add("POST", "/v1/evaluate", self.handle_evaluate)
         self.router.add("POST", "/v1/sweep", self.handle_sweep)
+        self.router.add("POST", "/v1/explore", self.handle_explore)
         self.router.add("GET", "/v1/jobs/{id}", self.handle_job)
         self.router.add("GET", "/v1/healthz", self.handle_healthz)
         self.router.add("GET", "/v1/metrics", self.handle_metrics)
@@ -371,6 +431,77 @@ class EvaluationService:
             "sources": sources,
             "failed": len(job.failures),
         })
+        self.metrics.record_job("completed")
+
+    async def handle_explore(self, request, params):
+        """Admit one async surrogate-exploration job.
+
+        The explore loop is sequential by nature (fit -> acquire ->
+        evaluate), so the job runs it on a worker thread holding one
+        compute slot — honest backpressure against interactive
+        evaluations — while its exact evaluations share the service's
+        cache directory with every other endpoint.
+        """
+        if self.draining:
+            return Response.error(503, "server is draining")
+        body = request.json()
+        kwargs = _normalize_explore(body)
+        try:
+            job = self.jobs.create(
+                "explore",
+                {"benchmarks": list(kwargs["benchmarks"]),
+                 "budget": kwargs["budget"],
+                 "seed": kwargs["seed"],
+                 "scale": kwargs["scale"],
+                 "space_size": kwargs["space"].size},
+                total=min(kwargs["budget"], kwargs["space"].size))
+        except QueueFull as exc:
+            self.metrics.record_rejected()
+            return Response.error(
+                429, str(exc),
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        self.metrics.record_job("submitted")
+        task = asyncio.create_task(self._run_explore_job(job, kwargs))
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        return Response.json({
+            "job_id": job.id,
+            "status": job.status,
+            "budget": job.total,
+            "url": f"/v1/jobs/{job.id}",
+        }, status=202)
+
+    async def _run_explore_job(self, job, kwargs):
+        from repro.explore import run_explore
+        from repro.service.jobs import JOB_RUNNING
+
+        def progress(spent, _budget):
+            # Plain int store from the worker thread: atomic under the
+            # GIL, and the registry only ever reads it for display.
+            job.done = spent
+
+        await self.slots.acquire()
+        job.status = JOB_RUNNING
+        try:
+            payload = await asyncio.to_thread(
+                run_explore,
+                cache_dir=self.cache.root if self.cache else None,
+                use_cache=self.cache is not None,
+                progress=progress, **kwargs)
+        except asyncio.CancelledError:
+            job.fail(f"cancelled during drain after "
+                     f"{job.done}/{job.total} exact evaluations "
+                     "(completed shards are cached)")
+            self.metrics.record_job("failed")
+            raise
+        except Exception as exc:
+            job.fail(f"{type(exc).__name__}: {exc}")
+            self.metrics.record_job("failed")
+            return
+        finally:
+            await self.slots.release()
+        job.done = job.total
+        job.finish({"explore": payload})
         self.metrics.record_job("completed")
 
     async def handle_job(self, request, params):

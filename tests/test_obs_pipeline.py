@@ -90,15 +90,21 @@ class TestWorkerMerge:
         sweep_b, before_b, after_b, spans_b = one_run()
 
         def deltas(before, after):
+            # Zero deltas are dropped: a label series registered by an
+            # earlier test in the same process (the registry is global
+            # and survives enable(reset=True)) would otherwise appear
+            # with delta 0 and perturb the comparison.
             out = {}
             for name, entry in after.items():
                 prior = {tuple(sorted(labels.items())): value
                          for labels, value
                          in before.get(name, {}).get("series", [])}
-                out[name] = [
+                changed = [
                     [labels, value
                      - prior.get(tuple(sorted(labels.items())), 0)]
                     for labels, value in entry["series"]]
+                out[name] = [[labels, value]
+                             for labels, value in changed if value]
             return out
 
         # Two runs with 2 workers merge to identical counter values —

@@ -401,6 +401,44 @@ class TestSweepJobs:
             assert job["status"] == "done"
 
 
+class TestExploreJobs:
+    def test_explore_job_roundtrip(self):
+        with running_service() as (service, client):
+            url = f"http://127.0.0.1:{service.port}/v1/explore"
+            status, _, body = post_raw(url, {
+                "benchmarks": ["conv"], "budget": 6, "seed": 0,
+                "scale": 0.1, "max_invocations": 2,
+                "space": "paper"})
+            assert status == 202
+            assert body["budget"] == 6
+            job = client.wait_job(body["job_id"], poll_interval=0.1,
+                                  timeout=120)
+            assert job["status"] == "done"
+            payload = job["result"]["explore"]
+            assert payload["schema"] == 1
+            assert payload["budget"]["spent"] == 6
+            assert payload["budget"]["space_size"] == 64
+            assert payload["config"]["benchmarks"] == ["conv"]
+            assert payload["frontier"]
+            assert len(payload["points"]) == 6
+
+    def test_explore_body_validated(self):
+        with running_service(evaluator=StubEvaluator()) as (service, _):
+            url = f"http://127.0.0.1:{service.port}/v1/explore"
+            status, _, body = post_raw(url, {"benchmarks": ["bogus"]})
+            assert status == 400
+            assert "unknown benchmarks" in body["error"]
+            status, _, body = post_raw(url, {"space": "galaxy"})
+            assert status == 400
+            assert "unknown space" in body["error"]
+            status, _, body = post_raw(url, {"budget": 0})
+            assert status == 400
+            assert "budget" in body["error"]
+            status, _, body = post_raw(url, {"scale": -1})
+            assert status == 400
+            assert "scale" in body["error"]
+
+
 class TestGracefulDrain:
     def test_inflight_request_completes_during_drain(self):
         stub = StubEvaluator(gated=True)
