@@ -5,14 +5,24 @@ Issues an evaluate request, repeats it to prove the second hit is
 served from cache/coalescing without recomputation, submits a sweep
 job and waits for it, then checks the metrics counters add up — in
 both the JSON snapshot and the Prometheus text exposition
-(``/v1/metrics?format=prom``), which is validated syntactically.
+(``/v1/metrics?format=prom``), which is validated syntactically — and
+that ``GET /v1/dash`` serves the self-contained HTML dashboard.
 Exits nonzero with a message on any violation.  The server lifecycle
 (start, SIGTERM, exit-code check) belongs to the caller.
+
+With ``--expect-crash NAME`` (the caller started the server under a
+``REPRO_FAULT_SPEC`` that crashes that benchmark's worker) the script
+additionally drives the crash path *last* — repeated crashes degrade
+the pool — asserting the evaluation fails AND that the service's
+flight recorder left a blackbox dump under ``--blackbox-dir``
+mentioning the failing task.
 
 Usage: python scripts/service_smoke.py --url http://127.0.0.1:8901
 """
 
 import argparse
+import json
+import pathlib
 import sys
 import urllib.request
 
@@ -28,6 +38,13 @@ def main(argv=None):
     parser.add_argument("--benchmark", default="conv")
     parser.add_argument("--sweep", default="conv,fft")
     parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--expect-crash", default=None,
+                        help="benchmark whose worker the server's "
+                             "fault spec crashes; evaluated last, "
+                             "must fail and leave a blackbox dump")
+    parser.add_argument("--blackbox-dir", default=None,
+                        help="server-side flight-recorder dump "
+                             "directory (with --expect-crash)")
     args = parser.parse_args(argv)
 
     from repro.service import ServiceClient
@@ -64,7 +81,11 @@ def main(argv=None):
     if sources["cache"] < 1:
         return fail(f"sweep should have reused the warm benchmark "
                     f"from cache: {sources}")
-    print(f"[smoke] sweep done: {sources}")
+    job_trace = job.get("trace_id", "")
+    if len(job_trace) != 16:
+        return fail(f"job record lost its originating trace id: "
+                    f"{job_trace!r}")
+    print(f"[smoke] sweep done: {sources} (trace id {job_trace})")
 
     metrics = client.metrics()
     if metrics["computations_total"] < 1:
@@ -95,6 +116,53 @@ def main(argv=None):
         return fail("service counters missing from prom exposition")
     print(f"[smoke] prom exposition ok ({samples} samples, "
           f"trace id {trace_id})")
+
+    request = urllib.request.Request(f"{args.url}/v1/dash")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        content_type = response.headers.get("Content-Type", "")
+        dash_html = response.read().decode("utf-8")
+    if not content_type.startswith("text/html"):
+        return fail(f"dash content type: {content_type!r}")
+    for marker in ("<!DOCTYPE html>", "/v1/metrics", "/v1/healthz",
+                   "repro service"):
+        if marker not in dash_html:
+            return fail(f"dashboard HTML is missing {marker!r}")
+    print(f"[smoke] dashboard ok ({len(dash_html)} bytes, "
+          "self-contained)")
+
+    if args.expect_crash:
+        # Last on purpose: every try crashes the worker, and enough
+        # crashes degrade the pool for everything that follows.
+        from repro.service import ServiceError
+        try:
+            result = client.evaluate(args.expect_crash, **kw)
+        except ServiceError as exc:
+            print(f"[smoke] crash benchmark failed as expected: "
+                  f"{exc}")
+        else:
+            return fail(f"evaluation of {args.expect_crash} should "
+                        f"have crashed, got source="
+                        f"{result['source']!r}")
+        if args.blackbox_dir:
+            dumps = sorted(
+                pathlib.Path(args.blackbox_dir).glob("*.json"))
+            if not dumps:
+                return fail(f"no blackbox dump in "
+                            f"{args.blackbox_dir} after the crash")
+            mentioned = False
+            for path in dumps:
+                payload = json.loads(path.read_text())
+                if any(event.get("fields", {}).get("task")
+                       == args.expect_crash
+                       for event in payload.get("events", [])):
+                    mentioned = True
+                    break
+            if not mentioned:
+                return fail(f"no blackbox dump mentions the crashed "
+                            f"task {args.expect_crash!r}")
+            print(f"[smoke] blackbox dump ok ({len(dumps)} dump(s), "
+                  f"crashed task recorded)")
+
     print("[smoke] OK")
     return 0
 

@@ -28,6 +28,9 @@ Schema (``"schema": 1``)::
     speedup      {single_eval, cold_eval} object/fast ratios
     sweep        {names, scale, max_invocations, engine_runs,
                   evals_per_sec_object, evals_per_sec_fast}
+    obs          {on_ns, off_ns, overhead_fraction} cost of full
+                 observability (spans + flight recorder) on an
+                 object-engine run, gated at OBS_OVERHEAD_CEILING
 
 Everything except the timing numbers is deterministic on a given
 machine; :func:`canonical_fields` strips the timing fields so tests
@@ -58,6 +61,14 @@ DEFAULT_SWEEP_NAMES = ("conv",)
 #: engine by at least this factor on the smoke workload.
 SINGLE_EVAL_FLOOR = 5.0
 
+#: Ceiling on the fractional cost of observability v2 (span recording
+#: plus a flight-recorder event) around one object-engine run.  The
+#: probe is deliberately the *object* engine: it runs for
+#: milliseconds, so the gate measures instrumentation against real
+#: work, not against a microsecond fastpath call where any fixed cost
+#: looks enormous.
+OBS_OVERHEAD_CEILING = 0.02
+
 #: Stages reported in ``stages_ns``, in pipeline order.
 STAGES = ("construct", "lower", "eval_object", "eval_fast",
           "eval_fast_cold")
@@ -76,6 +87,47 @@ def _min_span_ns(recorder, name):
     if not durs:
         raise RuntimeError(f"bench stage {name!r} recorded no spans")
     return int(min(durs) * 1000)       # recorder stores microseconds
+
+
+def _measure_obs_overhead(engine, trace, reps):
+    """Min-of-*reps* cost of an instrumented vs bare engine run.
+
+    "On" wraps the run in a span and records one flight-recorder
+    event — the per-task instrumentation the sweep adds; "off" is the
+    bare run with span recording disabled.  Minimum over repetitions
+    on both sides keeps scheduler noise out of the fraction (which
+    can still come out slightly negative; the gate clamps at zero).
+    """
+    from repro.obs import (
+        disable, enable, flight_event, is_enabled, isolated, span,
+    )
+    reps = max(1, int(reps))
+    on_ns = off_ns = None
+    with isolated():
+        for _ in range(reps):
+            started = time.perf_counter_ns()
+            with span("bench.obs_probe"):
+                engine.run(trace)
+            flight_event("bench.obs_probe")
+            elapsed = time.perf_counter_ns() - started
+            on_ns = elapsed if on_ns is None else min(on_ns, elapsed)
+    was_enabled = is_enabled()
+    disable()
+    try:
+        for _ in range(reps):
+            started = time.perf_counter_ns()
+            engine.run(trace)
+            elapsed = time.perf_counter_ns() - started
+            off_ns = elapsed if off_ns is None \
+                else min(off_ns, elapsed)
+    finally:
+        if was_enabled:
+            enable()
+    return {
+        "on_ns": on_ns,
+        "off_ns": off_ns,
+        "overhead_fraction": (on_ns / off_ns - 1.0) if off_ns else 0.0,
+    }
 
 
 def collect_bench(workload=DEFAULT_WORKLOAD, core=DEFAULT_CORE,
@@ -165,6 +217,8 @@ def collect_bench(workload=DEFAULT_WORKLOAD, core=DEFAULT_CORE,
         sweep_info[f"evals_per_sec_{engine}"] = \
             runs / (elapsed_ns / 1e9) if elapsed_ns else 0.0
 
+    obs_info = _measure_obs_overhead(object_engine, trace, reps)
+
     return {
         "schema": SCHEMA_VERSION,
         "commit": _commit(),
@@ -185,6 +239,7 @@ def collect_bench(workload=DEFAULT_WORKLOAD, core=DEFAULT_CORE,
         "per_inst_ns": per_inst_ns,
         "speedup": speedup,
         "sweep": sweep_info,
+        "obs": obs_info,
     }
 
 
@@ -204,7 +259,7 @@ def canonical_fields(payload):
     runs on one machine — the property the harness tests assert.
     """
     out = {k: v for k, v in payload.items()
-           if k not in ("stages_ns", "per_inst_ns", "speedup")}
+           if k not in ("stages_ns", "per_inst_ns", "speedup", "obs")}
     sweep = dict(payload.get("sweep", {}))
     for key in list(sweep):
         if key.startswith("evals_per_sec"):
@@ -276,6 +331,14 @@ def check_regression(current, baseline, tolerance=0.30):
                 f"{key} speedup regressed: {cur:.2f}x vs baseline "
                 f"{base:.2f}x (tolerance {tolerance:.0%})")
 
+    obs = current.get("obs")
+    if obs is not None:
+        overhead = max(0.0, obs.get("overhead_fraction", 0.0))
+        if overhead > OBS_OVERHEAD_CEILING:
+            failures.append(
+                f"observability overhead {overhead:.1%} exceeds the "
+                f"{OBS_OVERHEAD_CEILING:.0%} ceiling")
+
     base_ratio = _sweep_ratio(baseline)
     cur_ratio = _sweep_ratio(current)
     if base_ratio is not None and cur_ratio is not None \
@@ -314,4 +377,9 @@ def format_bench(payload):
         f"{sweep['engine_runs']} engine runs: "
         f"{sweep['evals_per_sec_object']:.1f} evals/s object, "
         f"{sweep['evals_per_sec_fast']:.1f} evals/s fast")
+    obs = payload.get("obs")
+    if obs:
+        lines.append(
+            f"  obs overhead: {obs['overhead_fraction']:+.2%} "
+            f"(ceiling {OBS_OVERHEAD_CEILING:.0%})")
     return "\n".join(lines)

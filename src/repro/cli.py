@@ -13,6 +13,10 @@ cache export              dump the sweep cache as JSONL training records
 bench                     perf-trajectory smoke benchmark (BENCH_*.json)
 validate                  regenerate the Table 1 validation summary
 serve                     long-lived HTTP evaluation service
+obs report                run-history health report (trends + EWMA
+                          regression flags from the runlog)
+profile NAMES...          sampling stack profiler over evaluations;
+                          flamegraph-folded output
 
 Every command exits 0 on success and nonzero on failure; operational
 errors (unknown benchmark, unreachable service, ...) print one
@@ -281,6 +285,12 @@ def _cmd_sweep(args):
                                 "energy_eff", "area")))
     print("\n== energy-performance space ==")
     print(frontier_plot(rows))
+    if args.dump_recorder:
+        from repro.obs import dump_blackbox
+        path = dump_blackbox("dump-recorder")
+        if path is not None:
+            print(f"[sweep] flight recorder dumped to {path}",
+                  file=sys.stderr)
     return 0
 
 
@@ -427,6 +437,71 @@ def _cmd_serve(args):
         task_timeout=args.task_timeout,
         max_pool_restarts=args.max_pool_restarts)
     return serve(config)
+
+
+def _cmd_obs(args):
+    """``repro obs report``: run-history health report."""
+    if args.obs_command != "report":
+        raise CLIError(f"unknown obs command {args.obs_command!r}")
+    from repro.dse.cache import default_cache_dir
+    from repro.obs import build_report, format_report
+
+    root = args.cache_dir if args.cache_dir else default_cache_dir()
+    report = build_report(root, window=args.window, gate=args.gate)
+    print(format_report(report))
+    return 1 if (report["regressions"] and args.strict) else 0
+
+
+def _cmd_profile(args):
+    """``repro profile``: sample evaluation stacks, emit folded text."""
+    from repro.dse.parallel import make_task, run_tasks
+    from repro.dse.sweep import ALL_SUBSETS, DSE_CORES
+    from repro.obs import StackProfiler, merge_folded, top_stacks
+
+    names = tuple(args.names) if args.names else ("conv",)
+    for name in names:
+        _workload(name)
+    tasks = [make_task(name, DSE_CORES, ALL_SUBSETS,
+                       scale=args.scale, engine=args.engine)
+             for name in names]
+    parts = []
+
+    def on_result(name, payload, seconds, obs_payload=None):
+        folded = (obs_payload or {}).get("profile")
+        if folded:
+            parts.append(folded)
+        print(f"[profile] {name}: {seconds:.2f}s, "
+              f"{sum((folded or {}).values())} samples",
+              file=sys.stderr)
+
+    # The dispatcher thread is sampled too: with workers the heavy
+    # frames live in the pool, but inline runs (workers=1) do the
+    # evaluation right here and the task-side profiler covers it.
+    with StackProfiler(interval=args.interval) as dispatcher:
+        run_tasks(tasks, workers=args.workers, on_result=on_result,
+                  profile={"interval": args.interval})
+    merged = merge_folded(parts + [dispatcher.folded()])
+    total = sum(merged.values())
+    if not total:
+        print("[profile] no samples collected (work finished under "
+              "one sampling interval; try a larger --scale)",
+              file=sys.stderr)
+    lines = [f"{stack} {count}" for stack, count
+             in sorted(merged.items(),
+                       key=lambda item: (-item[1], item[0]))]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"[profile] {total} samples -> {args.out} "
+              f"(flamegraph.pl / speedscope ready)", file=sys.stderr)
+    else:
+        print(text, end="")
+    if total:
+        print(f"[profile] hottest frames:", file=sys.stderr)
+        for leaf, count in top_stacks(merged, n=args.top):
+            print(f"[profile]   {count:>6}  {leaf}", file=sys.stderr)
+    return 0
 
 
 def _cmd_validate(args):
@@ -593,6 +668,10 @@ def build_parser():
     p.add_argument("--obs-out", default=None,
                    help="write the recorded spans as Chrome "
                         "trace-event JSON (implies --obs)")
+    p.add_argument("--dump-recorder", action="store_true",
+                   help="dump the flight-recorder ring to "
+                        "<cache>/blackbox/<trace_id>.json after the "
+                        "run (always happens on crash/timeout)")
     p.add_argument("--engine", choices=("auto", "object", "fast"),
                    default=None,
                    help="timing-engine implementation (byte-identical "
@@ -738,6 +817,46 @@ def build_parser():
                    help="also print the model-arbitration decisions "
                         "this error budget would produce")
 
+    p = sub.add_parser("obs", help="observability maintenance")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report",
+        help="run-history health report: sweep/serve trends, "
+             "artifact trajectories, EWMA regression flags")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory holding runlog.jsonl "
+                        "(default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-dse)")
+    p.add_argument("--window", type=int, default=20,
+                   help="runs per table (newest last; default 20)")
+    p.add_argument("--gate", type=float, default=0.25,
+                   help="fractional EWMA drift that flags a "
+                        "regression (default 0.25)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any regression is flagged")
+
+    p = sub.add_parser("profile",
+                       help="sampling stack profiler over benchmark "
+                            "evaluations (collapsed-stack output)")
+    p.add_argument("names", nargs="*",
+                   help="benchmarks to evaluate (default: conv)")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--interval", type=float, default=0.005,
+                   help="sampling period in seconds (default 0.005)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="evaluation pool width; worker-side folded "
+                        "stacks are merged into the output")
+    p.add_argument("--engine", choices=("auto", "object", "fast"),
+                   default=None,
+                   help="timing-engine implementation (default: "
+                        "$REPRO_ENGINE or auto)")
+    p.add_argument("--out", default=None,
+                   help="write collapsed stacks to this file "
+                        "(default: stdout)")
+    p.add_argument("--top", type=int, default=10,
+                   help="hottest leaf frames to summarize "
+                        "(default 10)")
+
     p = sub.add_parser("serve", help="HTTP evaluation service")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765,
@@ -783,9 +902,16 @@ def main(argv=None):
         "bench": _cmd_bench,
         "validate": _cmd_validate,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
+        "profile": _cmd_profile,
     }[args.command]
+    # Every CLI entry point is a distributed-trace root: spans this
+    # command records (and requests it issues via ServiceClient)
+    # carry one correlating trace id end to end.
+    from repro.obs import trace_context
     try:
-        return handler(args)
+        with trace_context():
+            return handler(args)
     except KeyboardInterrupt:
         print(f"repro {args.command}: interrupted", file=sys.stderr)
         return 130

@@ -26,7 +26,7 @@ import warnings
 from pathlib import Path
 
 from repro.core_model import core_by_name
-from repro.obs import counter, span
+from repro.obs import counter, flight_event, span
 
 #: Bumped when the cached record layout changes (forces a cold run).
 CACHE_FORMAT = 1
@@ -182,11 +182,15 @@ class SweepCache:
                     raise ValueError("cache entry is not an object")
                 if payload.get("format") != CACHE_FORMAT:
                     self._count("misses", current, "stale-format")
+                    flight_event("cache.miss", key=key[:12],
+                                 outcome="stale-format")
                     return None
                 self._count("hits", current, "hit")
+                flight_event("cache.hit", key=key[:12])
                 return payload["record"]
             except FileNotFoundError:
                 self._count("misses", current, "miss")
+                flight_event("cache.miss", key=key[:12])
                 return None
             except (ValueError, KeyError, OSError) as exc:
                 warnings.warn(
@@ -195,6 +199,7 @@ class SweepCache:
                 self._quarantine(path)
                 self._count("corrupt", current, "corrupt")
                 self._count("misses", current, "corrupt")
+                flight_event("cache.quarantine", key=key[:12])
                 return None
 
     def _quarantine(self, path):
@@ -281,7 +286,8 @@ class SweepCache:
             return
         paths = []
         for shard in self.root.iterdir():
-            if not shard.is_dir() or shard.name == "quarantine":
+            if not shard.is_dir() \
+                    or shard.name in ("quarantine", "blackbox"):
                 continue
             paths.extend(shard.glob("*.json"))
         for path in sorted(paths, key=lambda p: p.stem):

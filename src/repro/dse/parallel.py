@@ -82,8 +82,12 @@ def evaluate_task(task):
     ``(name, record_payload, seconds, obs_payload)`` where
     *record_payload* is the JSON form of a
     :class:`~repro.dse.sweep.BenchmarkResult` and *obs_payload* is
-    ``None``, or ``{"spans": [...], "metrics": {...}}`` when the task
-    carried ``"obs": True``.
+    ``None``, or ``{"spans": [...], "metrics": {...}, "trace": {...}}``
+    when the task carried ``"obs": True`` (``trace`` echoes the
+    dispatcher's ``{"id", "parent"}`` context so the parent can graft
+    the worker's spans under the dispatching span).  A ``"profile"``
+    task key additionally attaches a sampling profiler for the task's
+    duration and ships its folded stacks as ``obs_payload["profile"]``.
     """
     # Imported lazily: workers under the ``spawn`` start method import
     # this module before the rest of the package is loaded.
@@ -107,18 +111,43 @@ def evaluate_task(task):
             arbitration=task.get("arbitration"),
         )
 
+    profiler = None
+    if task.get("profile"):
+        from repro.obs.profiler import StackProfiler
+
+        profiler = StackProfiler(
+            interval=task["profile"].get("interval", 0.005))
+        profiler.start()
+
     started = time.perf_counter()
     obs_payload = None
-    if task.get("obs"):
-        from repro.obs import isolated
+    try:
+        if task.get("obs"):
+            from repro.obs import isolated, span, trace_context
 
-        with isolated() as (registry, recorder):
+            trace = task.get("trace") or {}
+            with isolated() as (registry, recorder):
+                # Re-bind the dispatcher's trace id in this process and
+                # root the worker's spans under one task span; absorb()
+                # in the parent grafts that root onto the dispatching
+                # span, completing the cross-process parent link.
+                with trace_context(trace.get("id")):
+                    with span("dse.worker.task", cat="worker",
+                              benchmark=task["name"],
+                              attempt=task.get("attempt", 0)):
+                        record = evaluate()
+                obs_payload = {"spans": recorder.export(),
+                               "metrics": registry.snapshot(),
+                               "trace": trace}
+        else:
             record = evaluate()
-            obs_payload = {"spans": recorder.export(),
-                           "metrics": registry.snapshot()}
-    else:
-        record = evaluate()
-    elapsed = time.perf_counter() - started
+    finally:
+        elapsed = time.perf_counter() - started
+        if profiler is not None:
+            profiler.stop()
+    if profiler is not None:
+        obs_payload = dict(obs_payload or {})
+        obs_payload["profile"] = profiler.folded()
     return task["name"], record_to_json(record), elapsed, obs_payload
 
 
@@ -135,7 +164,7 @@ def evaluate_payload(task):
 
 def run_tasks(tasks, workers=1, on_result=None, obs=False,
               policy=None, timeout=None, max_pool_restarts=2,
-              on_failure=None):
+              on_failure=None, profile=None):
     """Evaluate *tasks*, fanning out across *workers* processes.
 
     ``workers <= 1`` runs inline (no subprocesses, easier debugging).
@@ -174,12 +203,22 @@ def run_tasks(tasks, workers=1, on_result=None, obs=False,
         if on_result is not None:
             on_result(name, payload, elapsed, obs_payload)
 
+    if profile:
+        spec = profile if isinstance(profile, dict) else {}
+        tasks = [dict(task, profile=spec) for task in tasks]
     if workers <= 1 or len(tasks) <= 1:
         run_inline(evaluate_task, tasks, on_result=deliver,
                    on_failure=on_failure, policy=policy)
         return results
     if obs:
-        tasks = [dict(task, obs=True) for task in tasks]
+        from repro.obs import current_span_id, current_trace_id, \
+            new_trace_id
+
+        # One trace id for the whole fan-out; each worker roots its
+        # spans under the parent's current span via absorb().
+        trace = {"id": current_trace_id() or new_trace_id(),
+                 "parent": current_span_id()}
+        tasks = [dict(task, obs=True, trace=trace) for task in tasks]
     runner = ResilientRunner(
         evaluate_task, workers=min(workers, len(tasks)),
         policy=policy, timeout=timeout,

@@ -420,6 +420,9 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
     if use_cache:
         cache = SweepCache(cache_dir if cache_dir is not None
                            else default_cache_dir())
+        # Postmortem dumps land next to the cache this run uses.
+        from repro.obs import set_blackbox_dir
+        set_blackbox_dir(cache.root / "blackbox")
     if resume and cache is None:
         raise ValueError("resume requires the on-disk cache "
                          "(pass cache_dir or use_cache=True)")
@@ -486,11 +489,18 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
             # Worker-side observability, shipped through the task
             # codec.  Counter/histogram merges are commutative sums,
             # so completion order cannot perturb the merged values;
-            # worker spans are spliced in ending at the merge point.
+            # worker spans are spliced in ending at the merge point,
+            # re-parented under the span that dispatched the fan-out
+            # so the exported trace is one connected tree.
             recorder = get_recorder()
-            get_registry().merge_snapshot(obs_payload["metrics"])
-            recorder.absorb(obs_payload["spans"],
-                            align_end_us=recorder.now_us())
+            get_registry().merge_snapshot(
+                obs_payload.get("metrics") or {})
+            spans = obs_payload.get("spans")
+            if spans:
+                parent = (obs_payload.get("trace") or {}).get("parent")
+                recorder.absorb(spans,
+                                align_end_us=recorder.now_us(),
+                                parent=parent)
         if progress is not None:
             progress(name)
 
@@ -522,4 +532,40 @@ def _run_sweep(names, core_names, subsets, scale, max_invocations,
     stats.failures.sort(key=lambda f: f["name"])
     sweep.stats = stats
     sweep.arbitration = arbitration
+    if cache is not None:
+        _append_runlog(cache.root, stats, workers)
     return sweep
+
+
+def _append_runlog(cache_root, stats, workers):
+    """One run-history line per cached sweep (never raises).
+
+    The longitudinal record behind ``repro obs report``: throughput,
+    hit rate and failure counters land in ``<cache>/runlog.jsonl``.
+    The entry is derived from stats *after* the sweep is fully built,
+    so it cannot perturb results (and the byte-identity tests prove
+    it).
+    """
+    from repro.obs import current_trace_id, get_registry
+    from repro.obs.runlog import RunLog, runlog_entry
+
+    computed_seconds = sum(e["seconds"] for e in stats.entries
+                           if e["source"] == "computed")
+    registry = get_registry()
+    entry = runlog_entry(
+        "sweep",
+        benchmarks=len(stats.entries),
+        hits=stats.hits,
+        misses=stats.misses,
+        failures=len(stats.failures),
+        seconds=round(stats.total_seconds, 6),
+        evals_per_sec=(round(stats.misses / computed_seconds, 3)
+                       if computed_seconds > 0 else None),
+        cache_hit_rate=(round(stats.hits / len(stats.entries), 4)
+                        if stats.entries else None),
+        retries=registry.total("repro_retries_total"),
+        timeouts=registry.total("repro_task_timeouts_total"),
+        workers=workers,
+        trace_id=current_trace_id(),
+    )
+    RunLog(cache_root).append(entry)

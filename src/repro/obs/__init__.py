@@ -6,21 +6,39 @@ package gives the reproduction the same property operationally:
 
 - :mod:`repro.obs.core` — a :func:`span` tracer (context manager +
   decorator, contextvars-based so it is safe across threads and asyncio
-  tasks, a shared no-op singleton when disabled) and a typed metrics
+  tasks, a shared no-op singleton when disabled), a typed metrics
   registry (counters, gauges, fixed-bucket histograms whose merges are
-  deterministic).
+  deterministic), and the distributed trace context
+  (:class:`trace_context`, W3C ``traceparent`` formatting/parsing) that
+  links spans across CLI, service, and pool-worker processes.
 - :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
-  Perfetto / ``chrome://tracing``) and Prometheus text exposition.
+  Perfetto / ``chrome://tracing``) and Prometheus text exposition,
+  plus validators/parsers for both.
 - :mod:`repro.obs.timeline` — *modeled-timeline* emission: the paper's
   Fig. 14 switching segments (which BSA owns which dynamic region, for
   how many modeled cycles, with what stall class) as a first-class
   trace track.
+- :mod:`repro.obs.blackbox` — an always-on bounded flight recorder of
+  lifecycle events, dumped atomically to ``<cache>/blackbox/`` on
+  crash/timeout/SIGTERM for postmortems.
+- :mod:`repro.obs.runlog` — append-only JSONL run history plus the
+  EWMA health report behind ``repro obs report``.
+- :mod:`repro.obs.profiler` — sampling stack profiler with
+  flamegraph-folded export (``repro profile``).
 
 Spans record nothing until :func:`enable` is called; metrics counters
 are always live (a dict update) so cache hit rates and evaluation
 counts can be asserted without turning tracing on.
 """
 
+from repro.obs.blackbox import (
+    FlightRecorder,
+    blackbox_dir,
+    dump_blackbox,
+    flight_event,
+    get_flight_recorder,
+    set_blackbox_dir,
+)
 from repro.obs.core import (
     Counter,
     Gauge,
@@ -30,8 +48,11 @@ from repro.obs.core import (
     Recorder,
     SpanHandle,
     counter,
+    current_span_id,
+    current_trace_id,
     disable,
     enable,
+    format_traceparent,
     gauge,
     get_recorder,
     get_registry,
@@ -39,17 +60,34 @@ from repro.obs.core import (
     is_enabled,
     isolated,
     new_trace_id,
+    parse_traceparent,
     span,
+    trace_context,
     traced,
 )
 from repro.obs.export import (
     REQUIRED_EVENT_KEYS,
     chrome_trace,
+    parse_prom_text,
     render_prom,
     span_summary,
     validate_chrome_trace,
     validate_prom_text,
     write_chrome_trace,
+)
+from repro.obs.profiler import (
+    StackProfiler,
+    merge_folded,
+    parse_folded,
+    top_stacks,
+)
+from repro.obs.runlog import (
+    RunLog,
+    build_report,
+    detect_regressions,
+    ewma,
+    format_report,
+    runlog_entry,
 )
 from repro.obs.timeline import (
     MODELED_PID,
@@ -58,23 +96,45 @@ from repro.obs.timeline import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramState",
     "MetricsRegistry",
     "Recorder",
+    "RunLog",
     "SpanHandle",
+    "StackProfiler",
+    "blackbox_dir",
+    "build_report",
     "counter",
+    "current_span_id",
+    "current_trace_id",
+    "detect_regressions",
     "disable",
+    "dump_blackbox",
     "enable",
+    "ewma",
+    "flight_event",
+    "format_report",
+    "format_traceparent",
     "gauge",
+    "get_flight_recorder",
     "get_recorder",
     "get_registry",
     "histogram",
     "is_enabled",
     "isolated",
+    "merge_folded",
     "new_trace_id",
+    "parse_folded",
+    "parse_prom_text",
+    "parse_traceparent",
+    "runlog_entry",
+    "set_blackbox_dir",
     "span",
+    "top_stacks",
+    "trace_context",
     "traced",
     "REQUIRED_EVENT_KEYS",
     "chrome_trace",

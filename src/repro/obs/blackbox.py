@@ -1,0 +1,157 @@
+"""Always-on flight recorder: a bounded ring of structured events.
+
+The span tracer (:mod:`repro.obs.core`) is opt-in because spans carry
+cost proportional to how densely a path is instrumented.  The flight
+recorder is the opposite trade: a **fixed-size** deque of coarse
+lifecycle events (task dispatch/retry/timeout, pool restarts, cache
+hits/quarantines, fault injections) that is cheap enough to leave on
+unconditionally — one dict build plus a lock-free ``deque.append`` per
+event — and exists purely for postmortems.  When a run dies (worker
+crash, task timeout, SIGTERM, or an explicit ``--dump-recorder``) the
+ring is dumped atomically to ``<cache>/blackbox/<trace_id>.json`` so
+the last N events leading up to the failure survive the process.
+
+Nothing here feeds canonical artifacts; the determinism tests prove
+that recording (or dumping) changes no sweep bytes.
+"""
+
+import collections
+import itertools
+import json
+import os
+import threading
+import time
+
+from .core import current_trace_id, new_trace_id
+
+#: Default ring capacity.  512 events cover several full retry storms
+#: while keeping a dump comfortably under 100 KiB.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured events.
+
+    ``deque(maxlen=n)`` gives O(1) append with automatic overwrite of
+    the oldest event; ``seq`` is a monotonic id so a dump shows both
+    what survived and how much was overwritten before it.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events = collections.deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def record(self, kind, /, **fields):
+        """Append one event; never raises, never blocks on I/O."""
+        event = {
+            "seq": next(self._seq),
+            "t": time.time(),
+            "kind": kind,
+        }
+        trace = current_trace_id()
+        if trace is not None:
+            event["trace"] = trace
+        if fields:
+            event["fields"] = fields
+        with self._lock:
+            self._events.append(event)
+            self._total += 1
+        return event["seq"]
+
+    def snapshot(self):
+        """Oldest-to-newest copy of the surviving events."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def total(self):
+        """Events ever recorded (survivors + overwritten)."""
+        return self._total
+
+    @property
+    def dropped(self):
+        """Events overwritten by ring wrap-around."""
+        with self._lock:
+            return self._total - len(self._events)
+
+    def clear(self):
+        with self._lock:
+            self._events.clear()
+            self._total = 0
+
+    def __len__(self):
+        return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# Process-global recorder + dump plumbing.
+
+_recorder = FlightRecorder()
+_dump_dir = None
+_dump_lock = threading.Lock()
+
+
+def get_flight_recorder():
+    return _recorder
+
+
+def flight_event(kind, /, **fields):
+    """Record one event on the process-global flight recorder."""
+    return _recorder.record(kind, **fields)
+
+
+def set_blackbox_dir(path):
+    """Pin where :func:`dump_blackbox` writes (None restores default)."""
+    global _dump_dir
+    _dump_dir = None if path is None else str(path)
+
+
+def blackbox_dir():
+    """Active dump directory: the pinned one, else under the cache."""
+    if _dump_dir is not None:
+        return _dump_dir
+    from repro.dse.cache import default_cache_dir
+    return str(default_cache_dir() / "blackbox")
+
+
+def dump_blackbox(reason, trace_id=None, directory=None):
+    """Atomically dump the ring to ``<dir>/<trace_id>.json``.
+
+    Returns the written path, or None when the dump could not be
+    written — a postmortem helper must never turn a crash into a
+    different crash.
+    """
+    trace_id = trace_id or current_trace_id() or new_trace_id()
+    directory = str(directory) if directory is not None else blackbox_dir()
+    payload = {
+        "schema": 1,
+        "reason": reason,
+        "trace_id": trace_id,
+        "pid": os.getpid(),
+        "dumped_at": time.time(),
+        "capacity": _recorder.capacity,
+        "total_events": _recorder.total,
+        "dropped": _recorder.dropped,
+        "events": _recorder.snapshot(),
+    }
+    path = os.path.join(directory, f"{trace_id}.json")
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with _dump_lock:
+            os.makedirs(directory, exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return path

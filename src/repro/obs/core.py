@@ -32,6 +32,9 @@ import uuid
 #: Active span id (per thread / per asyncio task).
 _current_span = contextvars.ContextVar("repro_obs_span", default=None)
 
+#: Active distributed-trace id (per thread / per asyncio task).
+_current_trace = contextvars.ContextVar("repro_obs_trace", default=None)
+
 #: Monotonic span ids, unique within one process.
 _span_ids = itertools.count(1)
 
@@ -72,7 +75,7 @@ class SpanHandle:
         recorder = self._recorder
         if exc_type is not None:
             self.args["error"] = exc_type.__name__
-        recorder.add({
+        record = {
             "name": self.name,
             "cat": self.cat,
             "ts": (self._start_ns - recorder.epoch_ns) / 1000.0,
@@ -82,7 +85,13 @@ class SpanHandle:
             "id": self.id,
             "parent": parent,
             "args": self.args,
-        })
+        }
+        # Distributed correlation rides as a top-level field (never in
+        # ``args``, whose contents callers own and tests pin down).
+        trace = _current_trace.get()
+        if trace is not None:
+            record["trace"] = trace
+        recorder.add(record)
         return False
 
 
@@ -130,13 +139,22 @@ class Recorder:
         """JSON-able copy of the buffered records."""
         return list(self.records)
 
-    def absorb(self, records, align_end_us=None):
+    def absorb(self, records, align_end_us=None, parent=None):
         """Merge *records* from another process into this buffer.
 
         Worker timestamps are relative to the worker's own epoch; when
         *align_end_us* is given, records are shifted so the latest one
         ends there — placing a worker's activity where its result
         arrived on the parent's timeline.
+
+        Worker span ids live in the worker's own id space and can
+        collide with ids this process already minted, so every absorbed
+        record is re-keyed to a fresh local id (parent references
+        within the batch follow the same mapping).  *parent* (a span id
+        in THIS process) adopts the batch's orphans — records whose
+        parent is not in the batch — which is what stitches a pool
+        worker's spans under the dispatching span into one connected
+        trace tree.
         """
         records = [dict(r) for r in records]
         if align_end_us is not None and records:
@@ -144,6 +162,19 @@ class Recorder:
             offset = align_end_us - last
             for record in records:
                 record["ts"] += offset
+        mapping = {}
+        for record in records:
+            rid = record.get("id")
+            if rid is not None:
+                mapping[rid] = next(_span_ids)
+        for record in records:
+            if record.get("id") is not None:
+                record["id"] = mapping[record["id"]]
+            ref = record.get("parent")
+            if ref is not None and ref in mapping:
+                record["parent"] = mapping[ref]
+            else:
+                record["parent"] = parent
         self.records.extend(records)
         return len(records)
 
@@ -511,3 +542,93 @@ def histogram(name, help_text="", buckets=None):
 def new_trace_id():
     """Random 16-hex-char id correlating one request's spans."""
     return uuid.uuid4().hex[:16]
+
+
+# ---------------------------------------------------------------------------
+# Distributed trace context.
+
+def current_trace_id():
+    """Trace id bound to the current context (None outside one)."""
+    return _current_trace.get()
+
+
+def current_span_id():
+    """Span id of the innermost live span (None outside any span)."""
+    return _current_span.get()
+
+
+class trace_context:
+    """Bind a distributed-trace id for the dynamic extent of a block.
+
+    Every span finished inside the block carries the id as its
+    top-level ``trace`` field, which is how spans from different
+    processes (CLI parent, pool workers, service handlers) are later
+    recognized as one causal story.  With ``trace_id=None`` a fresh id
+    is minted; the bound id is yielded either way::
+
+        with trace_context() as trace_id:
+            ...
+    """
+
+    __slots__ = ("trace_id", "_token")
+
+    def __init__(self, trace_id=None):
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self._token = None
+
+    def __enter__(self):
+        self._token = _current_trace.set(self.trace_id)
+        return self.trace_id
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._token is not None:
+            _current_trace.reset(self._token)
+            self._token = None
+        return False
+
+
+def format_traceparent(trace_id=None, span_id=None):
+    """W3C ``traceparent`` header for the current (or given) context.
+
+    Our native ids are 16 hex chars; the wire format wants 32, so they
+    travel zero-padded and :func:`parse_traceparent` strips the pad.
+    """
+    trace_id = trace_id or current_trace_id() or new_trace_id()
+    if span_id is None:
+        span_id = current_span_id() or 0
+    return "00-{}-{}-01".format(
+        trace_id.rjust(32, "0"), format(span_id, "016x"))
+
+
+def _is_hex(text):
+    try:
+        int(text, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_traceparent(header):
+    """Trace id from a ``traceparent`` header (None if malformed).
+
+    Accepts any spec-shaped value; ids we minted ourselves come back
+    as the native 16-hex form, foreign 32-hex ids survive whole.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if (len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16
+            or len(flags) != 2):
+        return None
+    if not (_is_hex(version) and _is_hex(trace_id) and _is_hex(span_id)
+            and _is_hex(flags)):
+        return None
+    trace_id = trace_id.lower()
+    if int(trace_id, 16) == 0:
+        return None
+    if trace_id.startswith("0" * 16):
+        return trace_id[16:]
+    return trace_id

@@ -46,6 +46,16 @@ def chrome_trace(recorder=None, extra_events=(), label="repro pipeline"):
                        "pid": pid, "tid": 0, "ts": 0,
                        "args": {"sort_index": order}})
     for record in recorder.records:
+        # The span/parent links (and the distributed trace id, when
+        # one was bound) ride in args so Perfetto surfaces them and the
+        # connectivity test can walk the tree from the exported JSON.
+        args = dict(record.get("args", {}))
+        if record.get("id") is not None:
+            args["span_id"] = record["id"]
+        if record.get("parent") is not None:
+            args["parent_span"] = record["parent"]
+        if record.get("trace") is not None:
+            args["trace_id"] = record["trace"]
         events.append({
             "name": record["name"],
             "cat": record.get("cat", "pipeline"),
@@ -54,7 +64,7 @@ def chrome_trace(recorder=None, extra_events=(), label="repro pipeline"):
             "dur": round(record.get("dur", 0.0), 3),
             "pid": record["pid"],
             "tid": record["tid"],
-            "args": record.get("args", {}),
+            "args": args,
         })
     events.extend(extra_events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -170,6 +180,12 @@ def _format_value(value):
     return str(value)
 
 
+def _escape_help(text):
+    # HELP escaping differs from label escaping: backslash and newline
+    # only, quotes are literal.
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
 def render_prom(registries=None):
     """Prometheus text exposition for one or more registries."""
     if registries is None:
@@ -183,8 +199,9 @@ def render_prom(registries=None):
             if metric.name in seen:
                 continue
             seen.add(metric.name)
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+            help_text = metric.help or f"{metric.name} ({metric.kind})"
+            lines.append(f"# HELP {metric.name} "
+                         f"{_escape_help(help_text)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if metric.kind == "histogram":
                 for labels, state in metric.labeled():
@@ -253,3 +270,52 @@ def validate_prom_text(text):
             raise ValueError(f"line {number}: bad sample: {line!r}")
         samples += 1
     return samples
+
+
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value):
+    return value.replace(r'\"', '"').replace(r"\n", "\n") \
+        .replace(r"\\", "\\")
+
+
+def parse_prom_text(text):
+    """Parse exposition text back into structured samples.
+
+    Returns ``{"types": {name: kind}, "helps": {name: help},
+    "samples": {(name, (label pairs...)): float}}``.  Together with
+    :func:`validate_prom_text` this lets tests round-trip the full
+    ``/v1/metrics?format=prom`` output: every ``# TYPE``'d metric must
+    have samples, every sample must parse to the value the registry
+    reported.
+    """
+    types, helps, samples = {}, {}, {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) == 4:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) >= 3:
+                helps[parts[2]] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        name, brace, labels_text = body.partition("{")
+        labels = ()
+        if brace:
+            if not labels_text.endswith("}"):
+                raise ValueError(f"bad sample: {line!r}")
+            labels = tuple(sorted(
+                (key, _unescape_label(raw))
+                for key, raw in _LABEL_RE.findall(labels_text[:-1])))
+        samples[(name, labels)] = float(value)
+    return {"types": types, "helps": helps, "samples": samples}

@@ -30,7 +30,7 @@ import os
 import threading
 import time
 
-from repro.obs import counter
+from repro.obs import counter, flight_event
 from repro.resilience.policy import TransientError
 
 #: Environment variable carrying the fault spec (inherited by pools).
@@ -136,6 +136,8 @@ class FaultPlan:
                 counter("repro_faults_injected_total",
                         "faults fired by the injection harness") \
                     .inc(kind="flaky")
+                flight_event("fault.injected", fault="flaky",
+                             task=name, attempt=attempt)
                 raise TransientError(
                     f"injected transient failure for {name} "
                     f"(attempt {attempt})")
@@ -144,6 +146,8 @@ class FaultPlan:
             counter("repro_faults_injected_total",
                     "faults fired by the injection harness") \
                 .inc(kind=fault.kind)
+            flight_event("fault.injected", fault=fault.kind,
+                         task=name, attempt=attempt)
             if fault.kind == "crash":
                 os._exit(CRASH_EXIT_CODE)
             if fault.kind == "hang":

@@ -36,7 +36,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.obs import counter, span
+from repro.obs import counter, dump_blackbox, flight_event, span
 from repro.resilience.policy import (
     EvaluationTimeout, RetryPolicy, TaskFailure,
 )
@@ -142,6 +142,12 @@ class ResilientRunner:
             counter("repro_task_failures_total",
                     "tasks that failed after all retries") \
                 .inc(kind=kind)
+            flight_event("task.failed", task=state.key, kind=kind,
+                         attempts=state.attempts,
+                         error=type(exc).__name__)
+            # A terminal failure is exactly what the flight recorder
+            # exists for: leave the postmortem before moving on.
+            dump_blackbox(f"task-failed:{state.key}")
             if on_failure is None:
                 self._discard_pool()
                 raise exc
@@ -154,6 +160,9 @@ class ResilientRunner:
                 counter("repro_retries_total",
                         "task retries scheduled by the "
                         "fault-tolerance layer").inc(kind=kind)
+                flight_event("task.retry", task=state.key, kind=kind,
+                             attempt=state.attempts,
+                             error=type(exc).__name__)
                 state.eligible_at = self.clock() + self.policy.delay(
                     state.key, state.attempts)
                 waiting.append(state)
@@ -195,6 +204,8 @@ class ResilientRunner:
                     task = dict(state.task, attempt=state.attempts,
                                 pooled=True)
                     state.started_at = self.clock()
+                    flight_event("task.dispatch", task=state.key,
+                                 attempt=state.attempts)
                     future = pool.submit(self.worker_fn, task)
                     running[future] = state
 
@@ -248,6 +259,8 @@ class ResilientRunner:
         counter("repro_pool_restarts_total",
                 "worker pools discarded and respawned") \
             .inc(reason="death")
+        flight_event("pool.death", deaths=self.pool_deaths,
+                     in_flight=[s.key for s in running.values()])
         for future, state in list(running.items()):
             del running[future]
             if future.done():
@@ -265,6 +278,9 @@ class ResilientRunner:
             self.inline = True
             counter("repro_pool_inline_fallback_total",
                     "pools abandoned for inline execution").inc()
+            flight_event("pool.inline_fallback",
+                         deaths=self.pool_deaths)
+            dump_blackbox("pool-degraded")
 
     def _expire_timeouts(self, running, pending, handle_error):
         now = self.clock()
@@ -280,6 +296,11 @@ class ResilientRunner:
         counter("repro_pool_restarts_total",
                 "worker pools discarded and respawned") \
             .inc(reason="timeout")
+        for state in expired:
+            flight_event("task.timeout", task=state.key,
+                         attempt=state.attempts,
+                         budget_seconds=self.timeout)
+        dump_blackbox("task-timeout")
         self._discard_pool(kill=True)
         for future, state in list(running.items()):
             del running[future]

@@ -25,7 +25,10 @@ import signal
 import sys
 import time
 
-from repro.obs import new_trace_id, span
+from repro.obs import (
+    current_trace_id, format_traceparent, new_trace_id,
+    parse_traceparent, span, trace_context,
+)
 from repro.resilience.policy import EvaluationTimeout
 from repro.service.coalesce import Coalescer
 from repro.service.http import (
@@ -234,6 +237,9 @@ class EvaluationService:
             self.cache = SweepCache(
                 self.config.cache_dir if self.config.cache_dir is not None
                 else default_cache_dir())
+            # Postmortem dumps land next to the cache this service uses.
+            from repro.obs import set_blackbox_dir
+            set_blackbox_dir(self.cache.root / "blackbox")
         self.host = self.config.host
         self.port = self.config.port
         self.draining = False
@@ -251,6 +257,7 @@ class EvaluationService:
         self.router.add("GET", "/v1/healthz", self.handle_healthz)
         self.router.add("GET", "/v1/metrics", self.handle_metrics)
         self.router.add("GET", "/v1/benchmarks", self.handle_benchmarks)
+        self.router.add("GET", "/v1/dash", self.handle_dash)
 
     # ------------------------------------------------------------------
     # Core evaluation path: cache -> coalesce -> slots -> pool.
@@ -357,7 +364,7 @@ class EvaluationService:
             job = self.jobs.create(
                 "sweep",
                 {"names": names, "scale": eval_params["scale"]},
-                total=len(names))
+                total=len(names), trace_id=current_trace_id())
         except QueueFull as exc:
             self.metrics.record_rejected()
             return Response.error(
@@ -454,7 +461,8 @@ class EvaluationService:
                  "seed": kwargs["seed"],
                  "scale": kwargs["scale"],
                  "space_size": kwargs["space"].size},
-                total=min(kwargs["budget"], kwargs["space"].size))
+                total=min(kwargs["budget"], kwargs["space"].size),
+                trace_id=current_trace_id())
         except QueueFull as exc:
             self.metrics.record_rejected()
             return Response.error(
@@ -549,6 +557,12 @@ class EvaluationService:
                 for name, w in sorted(WORKLOADS.items())
             }})
 
+    async def handle_dash(self, request, params):
+        from repro.service.dash import render_dash
+        return Response(
+            status=200, body=render_dash().encode("utf-8"),
+            content_type="text/html; charset=utf-8")
+
     # ------------------------------------------------------------------
     # Dispatch: routing + metrics + failure containment.
 
@@ -556,14 +570,18 @@ class EvaluationService:
         self._active_requests += 1
         started = time.perf_counter()
         endpoint = "unmatched"
-        # Honor a client-supplied correlation id so a caller can stitch
-        # its own traces to ours; mint one otherwise.  The id is echoed
-        # in the response and attached to the request span.
-        trace_id = request.headers.get("x-trace-id") or new_trace_id()
+        # Honor a client-supplied correlation id — a W3C ``traceparent``
+        # or the service's own ``X-Trace-Id`` — so a caller can stitch
+        # its own traces to ours; mint one otherwise.  The id is bound
+        # as the handler's trace context (every span it records carries
+        # it), echoed in the response, and attached to the request span.
+        trace_id = parse_traceparent(
+            request.headers.get("traceparent")) \
+            or request.headers.get("x-trace-id") or new_trace_id()
         obs_span = span("service.request", cat="service",
                         method=request.method, trace_id=trace_id)
         try:
-            with obs_span:
+            with trace_context(trace_id), obs_span:
                 handler, params, template = self.router.match(
                     request.method, request.path)
                 if handler is None and params is None:
@@ -589,6 +607,10 @@ class EvaluationService:
                 obs_span.set(endpoint=endpoint,
                              status=response.status)
                 response.headers.setdefault("X-Trace-Id", trace_id)
+                response.headers.setdefault(
+                    "traceparent",
+                    format_traceparent(
+                        trace_id, getattr(obs_span, "id", None)))
             return response
         finally:
             self._active_requests -= 1
@@ -704,6 +726,47 @@ def serve(config=None):
     if span_rows:
         print("[serve] slowest spans:", file=sys.stderr)
         print(render_table(span_rows), file=sys.stderr)
+    _record_service_run(service)
     print("[serve] drained and shut down cleanly",
           file=sys.stderr, flush=True)
     return 0
+
+
+def _record_service_run(service):
+    """Leave a run-history line + final blackbox dump at shutdown.
+
+    SIGTERM is one of the flight recorder's dump triggers: the ring's
+    last events (dispatches, respawns, faults) survive the process for
+    ``repro obs report`` and postmortems.  Best-effort by design.
+    """
+    from repro.obs import dump_blackbox
+    from repro.obs.runlog import RunLog, runlog_entry
+
+    dump_blackbox("shutdown")
+    if service.cache is None:
+        return
+    snapshot = service.metrics.snapshot()
+    requests = sum(e["requests"]
+                   for e in snapshot["endpoints"].values())
+    errors = sum(e["errors"] for e in snapshot["endpoints"].values())
+    latencies = [e["latency"] for e in snapshot["endpoints"].values()
+                 if "latency" in e and e["latency"]["count"]]
+    entry = runlog_entry(
+        "serve",
+        uptime_seconds=snapshot["uptime_seconds"],
+        requests=requests,
+        errors=errors,
+        computations=snapshot["computations_total"],
+        coalesced=snapshot["coalesced_total"],
+        rejected=snapshot["rejected_total"],
+        cache_hit_rate=snapshot["cache"]["hit_rate"],
+        latency_p50_ms=(max(l["p50_ms"] for l in latencies)
+                        if latencies else None),
+        latency_p95_ms=(max(l["p95_ms"] for l in latencies)
+                        if latencies else None),
+        pool_restarts=service.pool.restarts,
+        pool_degraded=service.pool.degraded,
+        jobs_completed=snapshot["jobs"]["completed"],
+        jobs_failed=snapshot["jobs"]["failed"],
+    )
+    RunLog(service.cache.root).append(entry)

@@ -125,6 +125,17 @@ class ServiceClient:
         self._check_circuit(url)
         data = None
         headers = {"Accept": "application/json"}
+        # Propagate the caller's distributed trace context (if any) so
+        # spans the server records for this request parent back to the
+        # span that issued it — one causal story across processes.
+        from repro.obs import (
+            current_span_id, current_trace_id, format_traceparent,
+        )
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
+            headers["traceparent"] = format_traceparent(
+                trace_id, current_span_id())
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"

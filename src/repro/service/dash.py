@@ -1,0 +1,152 @@
+"""Single-file HTML dashboard for one running service (stdlib only).
+
+``GET /v1/dash`` returns a self-contained page — inline CSS and JS, no
+external assets, no build step — that polls the service's own JSON
+endpoints (``/v1/metrics``, ``/v1/healthz``) every couple of seconds
+and renders the live picture an operator wants at a glance: compute
+slots, queue depth, coalescing, cache hit rate, per-endpoint latency
+quantiles, pool restarts/degradation, and job counts.
+
+The page is deliberately dumb: all state lives server-side in the
+metrics registry, so refreshing (or opening several copies) costs one
+JSON snapshot per poll and nothing else.
+"""
+
+DASH_POLL_SECONDS = 2
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro service dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas,
+         monospace; background: #14161a; color: #d7dae0;
+         margin: 1.5rem; }
+  h1 { font-size: 1.1rem; margin: 0 0 1rem; color: #8ab4f8; }
+  h1 small { color: #5f6368; font-weight: normal; }
+  .grid { display: grid; gap: 0.8rem;
+          grid-template-columns: repeat(auto-fit, minmax(170px, 1fr)); }
+  .card { background: #1d2025; border: 1px solid #2a2e35;
+          border-radius: 6px; padding: 0.7rem 0.9rem; }
+  .card .label { font-size: 0.7rem; text-transform: uppercase;
+                 letter-spacing: 0.06em; color: #9aa0a6; }
+  .card .value { font-size: 1.5rem; margin-top: 0.2rem; }
+  .ok { color: #81c995; } .warn { color: #fdd663; }
+  .bad { color: #f28b82; }
+  table { border-collapse: collapse; width: 100%; margin-top: 1.2rem;
+          font-size: 0.85rem; }
+  th, td { text-align: right; padding: 0.35rem 0.6rem;
+           border-bottom: 1px solid #2a2e35; }
+  th { color: #9aa0a6; font-weight: normal; }
+  th:first-child, td:first-child { text-align: left; }
+  #err { color: #f28b82; margin-top: 1rem; white-space: pre-wrap; }
+  .meter { height: 6px; background: #2a2e35; border-radius: 3px;
+           margin-top: 0.45rem; overflow: hidden; }
+  .meter > div { height: 100%; background: #8ab4f8;
+                 transition: width 0.3s; }
+</style>
+</head>
+<body>
+<h1>repro service <small id="uptime"></small></h1>
+<div class="grid">
+  <div class="card"><div class="label">status</div>
+    <div class="value" id="status">…</div></div>
+  <div class="card"><div class="label">compute slots</div>
+    <div class="value" id="slots">…</div>
+    <div class="meter"><div id="slotbar" style="width:0"></div></div>
+  </div>
+  <div class="card"><div class="label">computations</div>
+    <div class="value" id="computations">…</div></div>
+  <div class="card"><div class="label">cache hit rate</div>
+    <div class="value" id="hitrate">…</div></div>
+  <div class="card"><div class="label">coalesced</div>
+    <div class="value" id="coalesced">…</div></div>
+  <div class="card"><div class="label">rejected (429)</div>
+    <div class="value" id="rejected">…</div></div>
+  <div class="card"><div class="label">pool</div>
+    <div class="value" id="pool">…</div></div>
+  <div class="card"><div class="label">jobs a/c/f</div>
+    <div class="value" id="jobs">…</div></div>
+</div>
+<table id="endpoints">
+  <thead><tr><th>endpoint</th><th>requests</th><th>errors</th>
+  <th>p50 ms</th><th>p95 ms</th><th>max ms</th></tr></thead>
+  <tbody></tbody>
+</table>
+<div id="err"></div>
+<script>
+"use strict";
+const POLL_MS = __POLL_SECONDS__ * 1000;
+const $ = (id) => document.getElementById(id);
+
+function setText(id, text, cls) {
+  const el = $(id);
+  el.textContent = text;
+  el.className = "value" + (cls ? " " + cls : "");
+}
+
+async function tick() {
+  try {
+    const [metrics, health] = await Promise.all([
+      fetch("/v1/metrics").then((r) => r.json()),
+      fetch("/v1/healthz").then((r) => r.json()),
+    ]);
+    $("err").textContent = "";
+    $("uptime").textContent =
+      "up " + Math.round(metrics.uptime_seconds) + "s";
+    setText("status", health.status,
+            health.status === "ok" ? "ok" : "warn");
+    const q = metrics.queue;
+    setText("slots", q.depth + " / " + q.capacity +
+            (q.inflight_keys ? "  (" + q.inflight_keys + " keyed)"
+                             : ""));
+    $("slotbar").style.width = q.capacity
+      ? Math.round(100 * q.depth / q.capacity) + "%" : "0";
+    setText("computations", metrics.computations_total);
+    setText("hitrate",
+            (100 * metrics.cache.hit_rate).toFixed(1) + "%",
+            metrics.cache.hit_rate >= 0.5 ? "ok" : "");
+    setText("coalesced", metrics.coalesced_total);
+    setText("rejected", metrics.rejected_total,
+            metrics.rejected_total ? "warn" : "");
+    const pool = health.pool;
+    setText("pool",
+            pool.workers + "w " + pool.mode +
+            (pool.restarts ? " r" + pool.restarts : "") +
+            (pool.degraded ? " DEGRADED" : ""),
+            pool.degraded ? "bad" : (pool.restarts ? "warn" : "ok"));
+    const jobs = metrics.jobs;
+    setText("jobs", jobs.active + " / " + jobs.completed + " / " +
+            jobs.failed, jobs.failed ? "warn" : "");
+    const tbody = $("endpoints").querySelector("tbody");
+    tbody.textContent = "";
+    for (const name of Object.keys(metrics.endpoints).sort()) {
+      const ep = metrics.endpoints[name];
+      const lat = ep.latency || {};
+      const row = document.createElement("tr");
+      for (const cell of [name, ep.requests, ep.errors,
+                          lat.p50_ms, lat.p95_ms, lat.max_ms]) {
+        const td = document.createElement("td");
+        td.textContent = cell === undefined ? "-" : cell;
+        row.appendChild(td);
+      }
+      tbody.appendChild(row);
+    }
+  } catch (exc) {
+    $("err").textContent = "poll failed: " + exc;
+  }
+}
+
+tick();
+setInterval(tick, POLL_MS);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dash(poll_seconds=DASH_POLL_SECONDS):
+    """The dashboard page as a UTF-8 HTML string."""
+    return _PAGE.replace("__POLL_SECONDS__", str(poll_seconds))

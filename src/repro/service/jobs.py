@@ -63,7 +63,7 @@ ACTIVE_STATES = (JOB_QUEUED, JOB_RUNNING)
 class Job:
     """One asynchronous sweep job."""
 
-    def __init__(self, kind, params, total):
+    def __init__(self, kind, params, total, trace_id=None):
         self.id = uuid.uuid4().hex[:12]
         self.kind = kind
         self.params = params
@@ -75,6 +75,10 @@ class Job:
         self.result = None
         self.error = None
         self.failures = []
+        #: Distributed trace id of the request that created the job,
+        #: so an async sweep's spans stay findable after the creating
+        #: response (and its X-Trace-Id echo) is long gone.
+        self.trace_id = trace_id
 
     @property
     def active(self):
@@ -117,6 +121,8 @@ class Job:
             "params": self.params,
             "progress": {"done": self.done, "total": self.total},
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.failures:
             payload["failures"] = list(self.failures)
         if self.error is not None:
@@ -133,12 +139,12 @@ class JobRegistry:
         self.max_active = max_active
         self._jobs = {}
 
-    def create(self, kind, params, total):
+    def create(self, kind, params, total, trace_id=None):
         """Admit a new job, or raise :class:`QueueFull` at the cap."""
         if self.active_count >= self.max_active:
             raise QueueFull(
                 f"{self.active_count} active jobs (max {self.max_active})")
-        job = Job(kind, params, total)
+        job = Job(kind, params, total, trace_id=trace_id)
         self._jobs[job.id] = job
         return job
 

@@ -23,7 +23,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.dse.parallel import evaluate_payload
-from repro.obs import counter
+from repro.obs import counter, dump_blackbox, flight_event
 from repro.resilience.policy import EvaluationTimeout
 
 
@@ -115,12 +115,16 @@ class EvaluationPool:
             counter("repro_pool_restarts_total",
                     "worker pools discarded and respawned") \
                 .inc(reason=reason)
+            flight_event("pool.respawn", reason=reason,
+                         restarts=self.restarts)
             if self.restarts > self.max_pool_restarts \
                     and not self.degraded:
                 self.degraded = True
                 self.workers = 1
                 counter("repro_pool_inline_fallback_total",
                         "pools abandoned for inline execution").inc()
+                flight_event("pool.degraded", restarts=self.restarts)
+                dump_blackbox("pool-degraded")
             self._executor = self._make_executor()
 
     async def evaluate(self, task):
@@ -133,9 +137,16 @@ class EvaluationPool:
         if self._executor is None:
             await self.start(warm=False)
         loop = asyncio.get_running_loop()
+        name = task.get("name", "?") if isinstance(task, dict) else "?"
+        if isinstance(task, dict):
+            # Flag pool dispatch the same way the sweep runner does:
+            # fault injection (and worker-side reporting) keys on it.
+            task = dict(task, pooled=(self.mode == "process"))
         tries = 0
         while True:
             generation = self._generation
+            flight_event("task.dispatch", task=name, attempt=tries,
+                         pool="service")
             future = loop.run_in_executor(
                 self._executor, self._evaluator, task)
             try:
@@ -147,18 +158,21 @@ class EvaluationPool:
                 counter("repro_task_timeouts_total",
                         "tasks cancelled at their wall-clock "
                         "budget").inc()
+                flight_event("task.timeout", task=name,
+                             budget_seconds=self.task_timeout)
+                dump_blackbox("task-timeout")
                 if self.mode == "process":
                     await self._respawn(generation, kill=True,
                                         reason="timeout")
-                name = task.get("name", "?") \
-                    if isinstance(task, dict) else "?"
                 raise EvaluationTimeout(
                     f"evaluation of {name} exceeded "
                     f"{self.task_timeout}s wall clock") from None
             except BrokenProcessPool:
                 tries += 1
+                flight_event("pool.crash", task=name, tries=tries)
                 await self._respawn(generation, reason="death")
                 if tries > self.max_pool_restarts:
+                    dump_blackbox(f"pool-crash:{name}")
                     raise
                 counter("repro_retries_total",
                         "task retries scheduled by the "

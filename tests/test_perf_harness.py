@@ -31,7 +31,7 @@ class TestSchema:
         assert payload["schema"] == SCHEMA_VERSION
         assert set(payload) == {"schema", "commit", "date", "engine",
                                 "workload", "stages_ns", "per_inst_ns",
-                                "speedup", "sweep"}
+                                "speedup", "sweep", "obs"}
         assert isinstance(payload["commit"], str) and payload["commit"]
         # date: YYYY-MM-DD
         year, month, day = payload["date"].split("-")
