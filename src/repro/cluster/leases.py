@@ -1,0 +1,212 @@
+"""Lease-based shard assignment with expiry, stealing, and hedging.
+
+The coordinator hands out per-benchmark shards as time-limited
+leases.  The design leans entirely on two properties the rest of the
+system already guarantees:
+
+- results are **content-keyed** — every node computes the same cache
+  key for the same shard, and
+- results are **byte-deterministic** — any two honest evaluations of
+  the same shard produce identical canonical payloads.
+
+Together they make duplicate execution harmless, which is what lets
+the table be aggressive about availability:
+
+- a lease that expires (node died, hung, or partitioned) returns the
+  shard to the pending queue for the next claimant (*work stealing* —
+  idle nodes pull; there is no push scheduling to go wrong);
+- an idle node with nothing pending is granted a **hedged** duplicate
+  lease on the oldest still-running shard (straggler mitigation);
+- the **first verified result wins**; later duplicates are
+  acknowledged and discarded.
+
+Deterministic: grant order is submission order, hedging prefers the
+longest-running shard, and ties break lexicographically.  Clock is
+injectable for tests.
+"""
+
+import time
+
+from repro.obs import counter, flight_event
+
+#: Default seconds a lease stays valid without completion.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Default seconds a shard must have been running before an idle node
+#: is hedged onto it.
+DEFAULT_HEDGE_AFTER = 10.0
+
+
+class Lease:
+    """One grant of one shard to one node."""
+
+    __slots__ = ("name", "node_id", "granted_at", "expires_at",
+                 "hedged")
+
+    def __init__(self, name, node_id, granted_at, ttl, hedged=False):
+        self.name = name
+        self.node_id = node_id
+        self.granted_at = granted_at
+        self.expires_at = granted_at + ttl
+        self.hedged = hedged
+
+    def to_json(self, now):
+        return {
+            "name": self.name,
+            "node_id": self.node_id,
+            "age_seconds": round(now - self.granted_at, 3),
+            "expires_in_seconds": round(self.expires_at - now, 3),
+            "hedged": self.hedged,
+        }
+
+
+class LeaseTable:
+    """Shard state machine: pending -> leased -> done."""
+
+    def __init__(self, names, lease_ttl=DEFAULT_LEASE_TTL,
+                 hedge_after=DEFAULT_HEDGE_AFTER,
+                 clock=time.monotonic):
+        self.names = list(names)
+        self.lease_ttl = lease_ttl
+        self.hedge_after = hedge_after
+        self.clock = clock
+        self.pending = list(self.names)     # submission order
+        self.leases = {}                    # name -> [Lease, ...]
+        self.done = {}                      # name -> payload
+        self.completed_by = {}              # name -> node_id
+
+    # ------------------------------------------------------------------
+    # Expiry and release.
+
+    def expire(self):
+        """Drop stale leases; re-queue shards left with no holder."""
+        now = self.clock()
+        for name in list(self.leases):
+            held = self.leases[name]
+            fresh = [lease for lease in held if lease.expires_at > now]
+            expired = len(held) - len(fresh)
+            if expired:
+                counter("repro_cluster_leases_expired_total",
+                        "leases that timed out before a result").inc(
+                            expired)
+                flight_event("cluster.lease_expired", shard=name,
+                             count=expired)
+            if fresh:
+                self.leases[name] = fresh
+            else:
+                del self.leases[name]
+                if name not in self.done and name not in self.pending:
+                    self.pending.append(name)
+
+    def release_node(self, node_id):
+        """Drop every lease held by a (dead) node; re-queue orphans."""
+        for name in list(self.leases):
+            held = [lease for lease in self.leases[name]
+                    if lease.node_id != node_id]
+            if len(held) == len(self.leases[name]):
+                continue
+            if held:
+                self.leases[name] = held
+            else:
+                del self.leases[name]
+                if name not in self.done and name not in self.pending:
+                    self.pending.append(name)
+                    flight_event("cluster.shard_requeued", shard=name,
+                                 node=node_id)
+
+    # ------------------------------------------------------------------
+    # Claim path (worker pull).
+
+    def claim(self, node_id):
+        """Grant this node a shard, or ``None`` when there is nothing.
+
+        Pending shards first (in submission order).  With nothing
+        pending, hedge: duplicate the oldest shard that has been
+        running longer than ``hedge_after``, has the fewest holders,
+        and is not already held by this node.
+        """
+        self.expire()
+        now = self.clock()
+        if self.pending:
+            name = self.pending.pop(0)
+            lease = Lease(name, node_id, now, self.lease_ttl)
+            self.leases.setdefault(name, []).append(lease)
+            counter("repro_cluster_leases_granted_total",
+                    "shard leases granted").inc(kind="primary")
+            flight_event("cluster.lease_granted", shard=name,
+                         node=node_id)
+            return lease
+
+        candidates = []
+        for name, held in self.leases.items():
+            if name in self.done:
+                continue
+            if any(lease.node_id == node_id for lease in held):
+                continue
+            oldest = min(lease.granted_at for lease in held)
+            if now - oldest < self.hedge_after:
+                continue
+            candidates.append((len(held), oldest, name))
+        if not candidates:
+            return None
+        _, _, name = min(candidates)
+        lease = Lease(name, node_id, now, self.lease_ttl, hedged=True)
+        self.leases[name].append(lease)
+        counter("repro_cluster_leases_granted_total",
+                "shard leases granted").inc(kind="hedged")
+        flight_event("cluster.lease_hedged", shard=name, node=node_id)
+        return lease
+
+    # ------------------------------------------------------------------
+    # Completion (first verified result wins).
+
+    def complete(self, name, node_id, payload):
+        """Accept a shard result; False for a duplicate (discarded).
+
+        The caller verifies the payload (checksum + identity) before
+        calling.  Duplicates are expected under hedging and after
+        lease expiry + redo; byte determinism makes discarding safe.
+        """
+        if name in self.done:
+            counter("repro_cluster_results_total",
+                    "shard results by disposition").inc(
+                        disposition="duplicate")
+            flight_event("cluster.result_duplicate", shard=name,
+                         node=node_id)
+            return False
+        self.done[name] = payload
+        self.completed_by[name] = node_id
+        self.leases.pop(name, None)
+        if name in self.pending:        # completed while re-queued
+            self.pending.remove(name)
+        counter("repro_cluster_results_total",
+                "shard results by disposition").inc(disposition="won")
+        flight_event("cluster.result_accepted", shard=name,
+                     node=node_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    @property
+    def all_done(self):
+        return len(self.done) == len(self.names)
+
+    def counts(self):
+        leased = sum(1 for name in self.leases if name not in self.done)
+        return {
+            "total": len(self.names),
+            "done": len(self.done),
+            "pending": len(self.pending),
+            "leased": leased,
+        }
+
+    def to_json(self):
+        now = self.clock()
+        return {
+            **self.counts(),
+            "leases": [lease.to_json(now)
+                       for name in sorted(self.leases)
+                       for lease in self.leases[name]],
+            "completed_by": dict(sorted(self.completed_by.items())),
+        }

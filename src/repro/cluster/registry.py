@@ -1,0 +1,140 @@
+"""Worker-node registry: membership, heartbeats, eviction.
+
+The coordinator's view of its fleet.  Nodes join by registering (and
+re-register after a partition heals), prove liveness by heartbeating,
+and are evicted when their heartbeat goes stale past the TTL — at
+which point their leases are released for re-dispatch and a blackbox
+dump preserves the coordinator's recent event ring for the
+post-mortem (``reason: node-evicted:<id>``).
+
+Node ids are deterministic: ``w<seq>-<sha256(name)[:6]>`` — the join
+sequence number plus a digest of the advertised name.  Two runs with
+the same join order mint the same ids, which keeps chaos-test
+assertions and log diffs stable.
+
+The registry is clock-injectable and synchronous; the coordinator
+serializes access through its event loop.
+"""
+
+import hashlib
+import time
+
+from repro.obs import counter, dump_blackbox, flight_event, gauge
+
+#: Default seconds without a heartbeat before a node is declared dead.
+DEFAULT_HEARTBEAT_TTL = 5.0
+
+
+class Node:
+    """One registered worker node."""
+
+    __slots__ = ("node_id", "name", "pid", "registered_at",
+                 "last_heartbeat", "heartbeats", "completed", "evicted")
+
+    def __init__(self, node_id, name, pid, now):
+        self.node_id = node_id
+        self.name = name
+        self.pid = pid
+        self.registered_at = now
+        self.last_heartbeat = now
+        self.heartbeats = 0
+        self.completed = 0
+        self.evicted = False
+
+    def to_json(self, now):
+        return {
+            "node_id": self.node_id,
+            "name": self.name,
+            "pid": self.pid,
+            "age_seconds": round(now - self.registered_at, 3),
+            "heartbeat_age_seconds": round(
+                now - self.last_heartbeat, 3),
+            "heartbeats": self.heartbeats,
+            "completed": self.completed,
+            "evicted": self.evicted,
+        }
+
+
+class NodeRegistry:
+    """Membership table with heartbeat-TTL eviction."""
+
+    def __init__(self, heartbeat_ttl=DEFAULT_HEARTBEAT_TTL,
+                 clock=time.monotonic):
+        self.heartbeat_ttl = heartbeat_ttl
+        self.clock = clock
+        self.nodes = {}             # node_id -> Node (live only)
+        self.evicted = {}           # node_id -> Node (tombstones)
+        self._seq = 0
+
+    def register(self, name, pid=None):
+        """Admit a node; returns its deterministic id."""
+        self._seq += 1
+        digest = hashlib.sha256(str(name).encode()).hexdigest()[:6]
+        node_id = f"w{self._seq}-{digest}"
+        self.nodes[node_id] = Node(node_id, name, pid, self.clock())
+        counter("repro_cluster_nodes_registered_total",
+                "worker nodes that joined the fleet").inc()
+        gauge("repro_cluster_nodes_live",
+              "currently live worker nodes").set(len(self.nodes))
+        flight_event("cluster.node_registered", node=node_id,
+                     name=str(name))
+        return node_id
+
+    def heartbeat(self, node_id):
+        """Record liveness; False when the node is unknown/evicted.
+
+        A False return tells the worker to re-register — the standard
+        recovery after a partition outlived the TTL.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            return False
+        node.last_heartbeat = self.clock()
+        node.heartbeats += 1
+        return True
+
+    def sweep_dead(self):
+        """Evict nodes whose heartbeat is stale; returns their ids.
+
+        Eviction dumps the flight-recorder ring (blackbox) so the
+        events leading up to the death — dispatches, lease grants,
+        the silence itself — survive for inspection.
+        """
+        now = self.clock()
+        dead = [node_id for node_id, node in self.nodes.items()
+                if now - node.last_heartbeat > self.heartbeat_ttl]
+        for node_id in dead:
+            node = self.nodes.pop(node_id)
+            node.evicted = True
+            self.evicted[node_id] = node
+            counter("repro_cluster_nodes_evicted_total",
+                    "worker nodes evicted on heartbeat timeout").inc()
+            flight_event("cluster.node_evicted", node=node_id,
+                         stale_seconds=round(
+                             now - node.last_heartbeat, 3))
+            dump_blackbox(f"node-evicted:{node_id}",
+                          trace_id=f"evict-{node_id}")
+        if dead:
+            gauge("repro_cluster_nodes_live",
+                  "currently live worker nodes").set(len(self.nodes))
+        return dead
+
+    def record_completion(self, node_id):
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.completed += 1
+
+    def is_live(self, node_id):
+        return node_id in self.nodes
+
+    def to_json(self):
+        now = self.clock()
+        return {
+            "live": [node.to_json(now)
+                     for _, node in sorted(self.nodes.items())],
+            "evicted": [node.to_json(now)
+                        for _, node in sorted(self.evicted.items())],
+        }
+
+    def __len__(self):
+        return len(self.nodes)

@@ -15,12 +15,18 @@ flag.
 """
 
 import json
+import os
 from pathlib import Path
 
 from repro.artifacts import load_artifact, repo_root, stamp
 
 #: Bump when the entry shape changes incompatibly.
 RUNLOG_SCHEMA = 1
+
+#: Size cap on the active runlog: an append that would push the file
+#: past this rolls it to ``runlog.jsonl.1`` first (one generation
+#: kept, so disk use is bounded at ~2x the cap per cache directory).
+DEFAULT_MAX_BYTES = 256 * 1024
 
 #: EWMA smoothing factor: ~last 5 runs dominate.
 EWMA_ALPHA = 0.3
@@ -43,42 +49,67 @@ class RunLog:
     Appends are a single ``write()`` of one line, so concurrent
     writers interleave whole records on POSIX; reads skip lines that
     fail to parse rather than dying on a torn tail.
+
+    The log is size-capped: an append that would push the active file
+    past ``max_bytes`` first rolls it to ``runlog.jsonl.1`` (atomic
+    rename, replacing the previous generation).  Reads merge the
+    rotated file before the active one, so history stays contiguous
+    across a rollover and total disk stays bounded.
     """
 
     FILENAME = "runlog.jsonl"
 
-    def __init__(self, root):
+    def __init__(self, root, max_bytes=DEFAULT_MAX_BYTES):
         self.path = Path(root) / self.FILENAME
+        self.rotated_path = self.path.with_name(self.FILENAME + ".1")
+        self.max_bytes = max_bytes
 
     def append(self, entry):
         """Append one entry; returns it.  Never raises on I/O."""
         line = json.dumps(entry, sort_keys=True) + "\n"
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._rotate_if_needed(len(line))
             with open(self.path, "a") as handle:
                 handle.write(line)
         except OSError:
             pass
         return entry
 
-    def read(self, kind=None, limit=None):
-        """Entries oldest-first, optionally filtered and tail-limited."""
+    def _rotate_if_needed(self, incoming_bytes):
+        """Roll the active file aside when the cap would be crossed."""
+        if not self.max_bytes:
+            return
         try:
-            lines = self.path.read_text().splitlines()
+            size = self.path.stat().st_size
         except OSError:
-            return []
+            return
+        if size and size + incoming_bytes > self.max_bytes:
+            os.replace(self.path, self.rotated_path)
+
+    def read(self, kind=None, limit=None):
+        """Entries oldest-first, optionally filtered and tail-limited.
+
+        Merges the rotated generation (older) before the active file,
+        so windows spanning a rollover see one contiguous history.
+        """
         entries = []
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
+        for path in (self.rotated_path, self.path):
             try:
-                entry = json.loads(line)
-            except ValueError:
+                lines = path.read_text().splitlines()
+            except OSError:
                 continue
-            if isinstance(entry, dict) and (
-                    kind is None or entry.get("kind") == kind):
-                entries.append(entry)
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict) and (
+                        kind is None or entry.get("kind") == kind):
+                    entries.append(entry)
         if limit is not None:
             entries = entries[-limit:]
         return entries

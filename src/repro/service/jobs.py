@@ -132,15 +132,38 @@ class Job:
         return payload
 
 
-class JobRegistry:
-    """In-memory job table with a cap on concurrently active jobs."""
+#: Default terminal jobs (done/failed) kept for status polling.
+DEFAULT_MAX_TERMINAL = 64
 
-    def __init__(self, max_active=4):
+#: Default seconds a terminal job stays pollable before eviction.
+DEFAULT_TERMINAL_TTL = 3600.0
+
+
+class JobRegistry:
+    """In-memory job table, bounded in active *and* terminal jobs.
+
+    Active jobs are capped by admission (:class:`QueueFull` past
+    ``max_active``).  Terminal jobs — done or failed, kept only so
+    clients can poll their result — are bounded two ways so a
+    long-lived service cannot grow without limit: each is evicted
+    ``terminal_ttl`` seconds after finishing, and the oldest-finished
+    go first when more than ``max_terminal`` have accumulated.
+    Eviction runs opportunistically on every create/get; a ``GET
+    /v1/jobs/{id}`` for an evicted job is an honest 404.
+    """
+
+    def __init__(self, max_active=4, max_terminal=DEFAULT_MAX_TERMINAL,
+                 terminal_ttl=DEFAULT_TERMINAL_TTL, clock=time.time):
         self.max_active = max_active
+        self.max_terminal = max_terminal
+        self.terminal_ttl = terminal_ttl
+        self.clock = clock
+        self.evicted_total = 0
         self._jobs = {}
 
     def create(self, kind, params, total, trace_id=None):
         """Admit a new job, or raise :class:`QueueFull` at the cap."""
+        self.evict()
         if self.active_count >= self.max_active:
             raise QueueFull(
                 f"{self.active_count} active jobs (max {self.max_active})")
@@ -149,11 +172,45 @@ class JobRegistry:
         return job
 
     def get(self, job_id):
+        self.evict()
         return self._jobs.get(job_id)
+
+    def evict(self):
+        """Drop terminal jobs past the TTL or beyond the count cap."""
+        now = self.clock()
+        terminal = sorted(
+            (job for job in self._jobs.values()
+             if not job.active and job.finished_at is not None),
+            key=lambda job: job.finished_at)
+        drop = [job for job in terminal
+                if now - job.finished_at > self.terminal_ttl]
+        kept = len(terminal) - len(drop)
+        if kept > self.max_terminal:
+            fresh = [job for job in terminal if job not in drop]
+            drop.extend(fresh[:kept - self.max_terminal])
+        for job in drop:
+            del self._jobs[job.id]
+            self.evicted_total += 1
+        return len(drop)
 
     @property
     def active_count(self):
         return sum(1 for job in self._jobs.values() if job.active)
+
+    @property
+    def terminal_count(self):
+        return sum(1 for job in self._jobs.values() if not job.active)
+
+    def to_json(self):
+        """The ``jobs`` block of ``/v1/healthz``."""
+        return {
+            "active": self.active_count,
+            "terminal": self.terminal_count,
+            "max_active": self.max_active,
+            "max_terminal": self.max_terminal,
+            "terminal_ttl_seconds": self.terminal_ttl,
+            "evicted_total": self.evicted_total,
+        }
 
     def __len__(self):
         return len(self._jobs)
